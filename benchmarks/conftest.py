@@ -1,0 +1,52 @@
+"""Shared fixtures for the figure/table benchmark suite.
+
+The Fig. 8 and Fig. 9 benches share one expensive evaluation matrix
+(4 algorithms x 6 datasets x 3 designs); it is computed once per
+session.  Every bench writes its rendered table under
+``benchmarks/results/`` so the numbers survive the pytest run.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import format_table, load_bench_graph, run_matrix
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def evaluation_matrix():
+    """The Fig. 8/9 matrix: 4 algorithms x 6 datasets x 3 designs."""
+    return run_matrix()
+
+
+@pytest.fixture(scope="session")
+def r14_graph():
+    return load_bench_graph("R14")
+
+
+@pytest.fixture(scope="session")
+def fig10_data(r14_graph):
+    """Fig. 10(a)/(b) share one ablation sweep (16 simulations)."""
+    from repro.bench import fig10_rows
+    return fig10_rows(graph=r14_graph)
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Print a table and persist it under benchmarks/results/."""
+    def _emit(name: str, rows, columns=None, title=None, floatfmt=".2f"):
+        text = format_table(rows, columns=columns, title=title, floatfmt=floatfmt)
+        print("\n" + text)
+        with open(os.path.join(results_dir, f"{name}.txt"), "w",
+                  encoding="utf-8") as fh:
+            fh.write(text)
+        return text
+    return _emit

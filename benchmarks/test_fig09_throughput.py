@@ -1,0 +1,29 @@
+"""Fig. 9 — throughput (GTEPS).
+
+Paper: "The ideal throughput is 32 GTEPS.  HiGraph achieves up to 25.0
+GTEPS and reaches 78.1% of ideal throughput.  Compared to GraphDynS,
+the throughput is improved by 2.7 GTEPS to 13.1 GTEPS, and 6.7 GTEPS on
+average."
+"""
+
+import statistics
+
+
+def test_fig9_throughput(benchmark, emit, evaluation_matrix):
+    rows = benchmark.pedantic(evaluation_matrix.throughput_rows,
+                              rounds=1, iterations=1)
+    emit("fig09_throughput", rows, title="Fig. 9: throughput (GTEPS)")
+
+    ideal = 32.0
+    best = max(r["higraph_gteps"] for r in rows)
+    gains = [r["higraph_gteps"] - r["graphdyns_gteps"] for r in rows]
+
+    # nobody exceeds the ideal; HiGraph approaches it on its best workload
+    for r in rows:
+        assert r["higraph_gteps"] <= ideal
+        assert r["graphdyns_gteps"] <= ideal
+    assert best > 0.6 * ideal
+    # HiGraph improves throughput on every workload, several GTEPS on average
+    assert min(gains) > -0.5
+    assert statistics.mean(gains) > 2.5
+    assert max(gains) > 5.0

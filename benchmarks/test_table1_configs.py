@@ -1,0 +1,37 @@
+"""Table 1 — configurations used for HiGraph and baselines.
+
+Regenerates the configuration table and checks the frequency column:
+every design synthesizes to the 1 GHz target at its Table 1 geometry.
+"""
+
+from repro.bench import paper_configs
+
+
+def test_table1_configurations(benchmark, emit):
+    def build():
+        rows = []
+        for name, cfg in paper_configs().items():
+            rows.append({
+                "design": name,
+                "frequency_ghz": cfg.frequency_ghz(),
+                "front_channels": cfg.front_channels,
+                "back_channels": cfg.back_channels,
+                "onchip_memory_mb": cfg.onchip_memory_bytes / 2**20,
+                "offset_site": cfg.offset_site,
+                "edge_site": cfg.edge_site,
+                "propagation_site": cfg.propagation_site,
+            })
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("table1_configs", rows, title="Table 1: configurations")
+
+    by_name = {r["design"]: r for r in rows}
+    assert by_name["HiGraph"]["front_channels"] == 32
+    assert by_name["HiGraph-mini"]["front_channels"] == 4
+    assert by_name["GraphDynS"]["front_channels"] == 4
+    for r in rows:
+        assert r["back_channels"] == 32
+        assert abs(r["frequency_ghz"] - 1.0) < 1e-9
+    assert by_name["GraphDynS"]["onchip_memory_mb"] == 32
+    assert by_name["HiGraph"]["onchip_memory_mb"] == 16

@@ -1,0 +1,18 @@
+"""Final step of the benchmark suite: consolidate every generated table
+into ``benchmarks/results/REPORT.md`` (runs last — files are collected
+alphabetically)."""
+
+import os
+
+from repro.bench import build_report, write_report
+
+
+def test_build_consolidated_report(benchmark, results_dir):
+    out_path = os.path.join(results_dir, "REPORT.md")
+    text = benchmark.pedantic(lambda: write_report(results_dir, out_path),
+                              rounds=1, iterations=1)
+    assert os.path.exists(out_path)
+    assert text.startswith("# HiGraph reproduction")
+    # at least the cheap, always-runnable sections must be present
+    produced = build_report(results_dir)
+    assert "Fig. 4" in produced

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Design-space exploration: radix, buffer depth and channel count.
+
+Walks the §5.4 design options of the MDP-network and the Fig. 11/12
+axes in one script, printing a compact report that shows why the paper
+settles on radix 2 and 160-entry buffers.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.accel import higraph, simulate
+from repro.algorithms import PageRank
+from repro.graph import load
+from repro.hw import mdp_area_mm2, mdp_critical_path_ns, mdp_power_mw
+
+
+def main() -> None:
+    graph = load("R14", scale=0.0625)
+    print(f"workload: PageRank(2) on {graph}\n")
+
+    print("== radix (64-channel network: 64 = 2^6 = 4^3 = 8^2) ==")
+    print(f"{'radix':>6s} {'crit-path':>10s} {'freq':>6s} {'GTEPS':>7s}")
+    for radix in (2, 4, 8):
+        cfg = higraph(front_channels=64, back_channels=64, radix=radix)
+        stats = simulate(cfg, graph, PageRank(iterations=2)).stats
+        print(f"{radix:>6d} {mdp_critical_path_ns(64, radix):>8.3f}ns "
+              f"{stats.frequency_ghz:>5.2f}G {stats.gteps:>7.2f}")
+    print("-> small radices tie; large radix re-centralizes (freq drops).\n")
+
+    print("== per-channel FIFO depth (paper picks 160) ==")
+    print(f"{'depth':>6s} {'GTEPS':>7s} {'area mm^2':>10s} {'power mW':>9s}")
+    for depth in (8, 40, 160, 320):
+        cfg = higraph(fifo_depth=depth)
+        stats = simulate(cfg, graph, PageRank(iterations=2)).stats
+        print(f"{depth:>6d} {stats.gteps:>7.2f} {mdp_area_mm2(32, depth):>10.3f} "
+              f"{mdp_power_mw(32, depth):>9.1f}")
+    print("-> throughput saturates near 160 entries; larger buffers only "
+          "cost area/power.\n")
+
+    print("== back-end channels (HiGraph holds 1 GHz; Fig. 11) ==")
+    print(f"{'chan':>6s} {'freq':>6s} {'GTEPS':>7s}")
+    for channels in (32, 64, 128):
+        cfg = higraph(back_channels=channels)
+        stats = simulate(cfg, graph, PageRank(iterations=2)).stats
+        print(f"{channels:>6d} {stats.frequency_ghz:>5.2f}G {stats.gteps:>7.2f}")
+    print("-> throughput keeps scaling because the MDP-network's critical "
+          "path barely grows.")
+
+
+if __name__ == "__main__":
+    main()

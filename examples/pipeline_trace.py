@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Trace the pipeline: where do the cycles go inside the accelerator?
+
+Attaches a PipelineTracer to both HiGraph and GraphDynS on the same
+workload and prints an occupancy comparison — making the paper's
+datapath-conflict story visible: the baseline's propagation FIFOs back
+up behind crossbar arbitration while its vPEs starve.
+
+Run:  python examples/pipeline_trace.py
+"""
+
+from repro.accel import AcceleratorSim, PipelineTracer, graphdyns, higraph
+from repro.algorithms import PageRank
+from repro.graph import load
+
+
+def main() -> None:
+    graph = load("R14", scale=0.0625)
+    algorithm = PageRank(iterations=2)
+    print(f"workload: PR(2) on {graph}\n")
+
+    summaries = {}
+    for config in (graphdyns(), higraph()):
+        tracer = PipelineTracer(interval=1)
+        sim = AcceleratorSim(config, graph, algorithm, tracer=tracer)
+        result = sim.run()
+        summaries[config.name] = (tracer.trace.summary(config.back_channels),
+                                  result.stats)
+
+    print(f"{'metric':34s} {'GraphDynS':>12s} {'HiGraph':>12s}")
+    print("-" * 60)
+    keys = ["mean_propagation_occupancy", "peak_propagation_occupancy",
+            "mean_epe_in_occupancy", "mean_fe_out_occupancy", "mean_vpe_rate"]
+    for key in keys:
+        a = summaries["GraphDynS"][0][key]
+        b = summaries["HiGraph"][0][key]
+        print(f"{key:34s} {a:>12.2f} {b:>12.2f}")
+    for label, getter in [("gteps", lambda s: s.gteps),
+                          ("vpe starvation cycles",
+                           lambda s: s.vpe_starvation_cycles),
+                          ("propagation conflicts",
+                           lambda s: s.propagation_conflicts)]:
+        a = getter(summaries["GraphDynS"][1])
+        b = getter(summaries["HiGraph"][1])
+        print(f"{label:34s} {a:>12.1f} {b:>12.1f}")
+
+    print("\nreading: HiGraph keeps vPEs fed (higher mean_vpe_rate) with "
+          "*less* queueing\nupstream — deterministic propagation instead of "
+          "arbitration retries.")
+
+
+if __name__ == "__main__":
+    main()

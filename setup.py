@@ -1,0 +1,9 @@
+"""Legacy-compatible shim: metadata lives in pyproject.toml.
+
+Kept so ``pip install -e . --no-use-pep517`` works on environments whose
+setuptools lacks PEP 660 editable-wheel support (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

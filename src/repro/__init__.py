@@ -1,0 +1,42 @@
+"""repro — reproduction of "Alleviating Datapath Conflicts and Design
+Centralization in Graph Analytics Acceleration" (HiGraph / MDP-network,
+DAC 2022).
+
+Layers, bottom-up:
+
+* :mod:`repro.graph` — CSR graphs, generators, paper Table 2 datasets,
+  slicing for on-chip memory.
+* :mod:`repro.algorithms` — VCPM kernels (BFS, SSSP, SSWP, PR) and the
+  functional golden-model engine.
+* :mod:`repro.hw` — hardware primitives: FIFOs, arbiters, crossbars,
+  banked SRAM, the calibrated timing/area/power models.
+* :mod:`repro.mdp` — the paper's contribution: the MDP-network generator
+  (Algorithm 1), netlist emission, and cycle-level network models
+  including the Replay-Engine/range-splitting variant for Edge Array
+  access.
+* :mod:`repro.accel` — cycle-level simulators of HiGraph, HiGraph-mini
+  and the GraphDynS baseline (Table 1 presets, Opt-O/E/D ablations).
+* :mod:`repro.bench` — the experiment harness regenerating every figure
+  and table of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    CapacityError,
+    ConfigError,
+    GenerationError,
+    GraphFormatError,
+    ReproError,
+    SimulationError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "GraphFormatError",
+    "GenerationError",
+    "ConfigError",
+    "CapacityError",
+    "SimulationError",
+]

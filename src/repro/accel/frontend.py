@@ -1,0 +1,149 @@
+"""Front-end: ActiveVertex fetch + Offset Array access (conflict site ①).
+
+The access pattern is **one-to-two** (§4.1): a source vertex ``u`` needs
+``OffsetArray[u]`` and ``OffsetArray[u+1]``, which live in two
+consecutive interleaved banks (``u mod n`` and ``(u+1) mod n``).
+
+Two implementations:
+
+* :class:`MdpOffsetFrontend` (HiGraph) — an MDP-network first guides
+  each vertex to output channel ``u mod n``, so a vertex only ever
+  conflicts with its *neighbour* channels; the §4.1 odd–even arbiter
+  resolves those by alternating parity priority.
+* :class:`CrossbarOffsetFrontend` (GraphDynS) — an arbitrated crossbar
+  routes vertices and a centralized greedy claim arbiter resolves bank
+  conflicts across **all** channels; this serial arbitration chain is
+  the structure whose frequency collapses beyond a few channels.
+
+Both emit ``(Off, Len, sprop)`` requests into per-channel ``fe_out``
+queues and silently retire vertices with no outgoing edges.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.accel.config import AcceleratorConfig
+from repro.hw.arbiter import GreedyClaimArbiter, OddEvenArbiter
+from repro.hw.crossbar import ArbitratedCrossbar
+from repro.mdp.network import MdpNetworkSim
+
+
+class _OffsetFrontendBase:
+    """Shared machinery: issue queues, offset reads, retirement count."""
+
+    def __init__(self, config: AcceleratorConfig, offsets: np.ndarray) -> None:
+        self.n = config.front_channels
+        self.offsets = offsets
+        self.issue_depth = config.issue_queue_depth
+        self.issue_q: list[deque] = [deque() for _ in range(self.n)]
+        self.retired = 0            # vertices that left the front end
+        self.deferrals = 0          # lost bank-arbitration attempts
+
+    # -- subclass hooks -------------------------------------------------
+    def _route(self, active_parts) -> None:
+        raise NotImplementedError
+
+    def _arbitrate(self, requests):
+        raise NotImplementedError
+
+    # -- per-cycle protocol --------------------------------------------
+    def tick(self, active_parts: list[deque], fe_out: list) -> int:
+        """One cycle; returns vertices retired this cycle."""
+        retired = self._issue(fe_out)
+        self._route(active_parts)
+        return retired
+
+    def _issue(self, fe_out) -> int:
+        """Arbitrate offset-bank reads for the issue-queue heads."""
+        n = self.n
+        requests: list = [None] * n
+        for ch in range(n):
+            q = self.issue_q[ch]
+            if q and not fe_out[ch].full:
+                u = q[0][0]
+                requests[ch] = ((u % n, u), ((u + 1) % n, u + 1))
+        granted = self._arbitrate(requests)
+        retired = 0
+        for ch in granted:
+            u, sprop = self.issue_q[ch].popleft()
+            off = int(self.offsets[u])
+            length = int(self.offsets[u + 1]) - off
+            if length > 0:
+                fe_out[ch].push((off, length, sprop))
+            retired += 1
+        self.retired += retired
+        return retired
+
+    @property
+    def issue_occupancy(self) -> int:
+        return sum(len(q) for q in self.issue_q)
+
+
+class MdpOffsetFrontend(_OffsetFrontendBase):
+    """HiGraph front end: MDP-network routing + odd–even arbiter."""
+
+    def __init__(self, config: AcceleratorConfig, offsets: np.ndarray) -> None:
+        super().__init__(config, offsets)
+        self.net = MdpNetworkSim(self.n, config.radix, config.fifo_depth)
+        self.arbiter = OddEvenArbiter(self.n)
+
+    def _arbitrate(self, requests):
+        granted = self.arbiter.arbitrate(requests)
+        self.deferrals = self.arbiter.deferrals
+        return granted
+
+    def _route(self, active_parts) -> None:
+        # deliver routed vertices into issue queues, then advance, then
+        # inject new vertices from the ActiveVertex parts
+        ready = [len(q) < self.issue_depth for q in self.issue_q]
+        for ch, item in self.net.deliver(ready):
+            self.issue_q[ch].append(item)
+        self.net.advance()
+        for p in range(self.n):
+            part = active_parts[p]
+            if part:
+                u, sprop = part[0]
+                if self.net.offer(p, u % self.n, (u, sprop)):
+                    part.popleft()
+
+    @property
+    def drained(self) -> bool:
+        return self.net.drained and self.issue_occupancy == 0
+
+
+class CrossbarOffsetFrontend(_OffsetFrontendBase):
+    """GraphDynS front end: crossbar routing + centralized greedy arbiter."""
+
+    def __init__(self, config: AcceleratorConfig, offsets: np.ndarray) -> None:
+        super().__init__(config, offsets)
+        self.net = ArbitratedCrossbar(self.n, self.n, config.fifo_depth)
+        self.arbiter = GreedyClaimArbiter(self.n)
+
+    def _arbitrate(self, requests):
+        granted = self.arbiter.arbitrate(requests)
+        self.deferrals = self.arbiter.deferrals
+        return granted
+
+    def _route(self, active_parts) -> None:
+        budget = [self.issue_depth - len(q) for q in self.issue_q]
+        for ch, item in self.net.tick(budget):
+            self.issue_q[ch].append(item)
+        for p in range(self.n):
+            part = active_parts[p]
+            if part:
+                u, sprop = part[0]
+                if self.net.offer(p, u % self.n, (u, sprop)):
+                    part.popleft()
+
+    @property
+    def drained(self) -> bool:
+        return self.net.drained and self.issue_occupancy == 0
+
+
+def make_frontend(config: AcceleratorConfig, offsets: np.ndarray):
+    if config.offset_site == "mdp":
+        return MdpOffsetFrontend(config, offsets)
+    return CrossbarOffsetFrontend(config, offsets)

@@ -1,0 +1,41 @@
+"""Breadth-First Search as a VCPM algorithm.
+
+Property = hop distance from the source; ``Process_Edge`` adds one hop,
+``Reduce`` keeps the minimum, ``Apply`` keeps the smaller of old and new.
+Unreached vertices hold ``inf``.  Weights are ignored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.graph.csr import CSRGraph
+
+
+class BFS(Algorithm):
+    name = "BFS"
+    uses_weights = False
+
+    def init_prop(self, graph: CSRGraph, source: int) -> np.ndarray:
+        prop = np.full(graph.num_vertices, np.inf, dtype=np.float64)
+        prop[source] = 0.0
+        return prop
+
+    def identity(self) -> float:
+        return np.inf
+
+    def process_edge(self, sprop: float, weight: int) -> float:
+        return sprop + 1.0
+
+    def process_edge_vec(self, sprop: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        return sprop + 1.0
+
+    def reduce(self, acc: float, imm: float) -> float:
+        return imm if imm < acc else acc
+
+    def reduce_at(self, tprop: np.ndarray, dst: np.ndarray, imm: np.ndarray) -> None:
+        np.minimum.at(tprop, dst, imm)
+
+    def apply(self, prop: np.ndarray, tprop: np.ndarray, graph: CSRGraph) -> np.ndarray:
+        return np.minimum(prop, tprop)

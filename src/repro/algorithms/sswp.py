@@ -1,0 +1,46 @@
+"""Single-Source Widest Path as a VCPM algorithm.
+
+Property = widest-path bottleneck from the source (maximin).  The source
+has infinite width; ``Process_Edge`` narrows the path by the edge weight
+(``min``), ``Reduce``/``Apply`` keep the widest (``max``).  Weights must
+be positive so that 0 can serve as the reduce identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+
+
+class SSWP(Algorithm):
+    name = "SSWP"
+
+    def init_prop(self, graph: CSRGraph, source: int) -> np.ndarray:
+        prop = np.zeros(graph.num_vertices, dtype=np.float64)
+        prop[source] = np.inf
+        return prop
+
+    def identity(self) -> float:
+        return 0.0
+
+    def process_edge(self, sprop: float, weight: int) -> float:
+        return sprop if sprop < weight else float(weight)
+
+    def process_edge_vec(self, sprop: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        return np.minimum(sprop, weight)
+
+    def reduce(self, acc: float, imm: float) -> float:
+        return imm if imm > acc else acc
+
+    def reduce_at(self, tprop: np.ndarray, dst: np.ndarray, imm: np.ndarray) -> None:
+        np.maximum.at(tprop, dst, imm)
+
+    def apply(self, prop: np.ndarray, tprop: np.ndarray, graph: CSRGraph) -> np.ndarray:
+        return np.maximum(prop, tprop)
+
+    def validate_graph(self, graph: CSRGraph) -> None:
+        if graph.num_edges and graph.weights.min() <= 0:
+            raise ConfigError("SSWP requires strictly positive edge weights")

@@ -1,0 +1,57 @@
+"""Benchmark harness regenerating every table and figure of the paper."""
+
+from repro.bench.figures import (
+    FIG10_STEPS,
+    FIG11_GRAPHDYNS_CHANNELS,
+    FIG11_HIGRAPH_CHANNELS,
+    FIG12_BUFFER_SIZES,
+    SEC54_RADICES,
+    combining_ablation_rows,
+    fig10_rows,
+    fig11_rows,
+    fig12_rows,
+    sec54_radix_rows,
+)
+from repro.bench.charts import bar_chart, series_chart
+from repro.bench.report import REPORT_SECTIONS, build_report, collect_results, write_report
+from repro.bench.harness import (
+    BENCH_PR_ITERATIONS,
+    DEFAULT_BENCH_SCALES,
+    MatrixResult,
+    bench_scale,
+    format_table,
+    load_bench_graph,
+    make_bench_algorithm,
+    paper_configs,
+    run_matrix,
+    save_rows,
+)
+
+__all__ = [
+    "run_matrix",
+    "MatrixResult",
+    "paper_configs",
+    "bench_scale",
+    "load_bench_graph",
+    "make_bench_algorithm",
+    "format_table",
+    "save_rows",
+    "DEFAULT_BENCH_SCALES",
+    "BENCH_PR_ITERATIONS",
+    "fig10_rows",
+    "fig11_rows",
+    "fig12_rows",
+    "sec54_radix_rows",
+    "combining_ablation_rows",
+    "FIG10_STEPS",
+    "FIG11_HIGRAPH_CHANNELS",
+    "FIG11_GRAPHDYNS_CHANNELS",
+    "FIG12_BUFFER_SIZES",
+    "SEC54_RADICES",
+    "REPORT_SECTIONS",
+    "build_report",
+    "collect_results",
+    "write_report",
+    "bar_chart",
+    "series_chart",
+]

@@ -1,0 +1,123 @@
+"""Per-figure experiment definitions for the paper's evaluation section.
+
+Each function regenerates the data series behind one figure and returns
+plain row dicts; ``benchmarks/`` prints them as tables and asserts the
+paper's qualitative claims.
+"""
+
+from __future__ import annotations
+
+from repro.accel import ablation, graphdyns, higraph, simulate
+from repro.bench.harness import load_bench_graph, make_bench_algorithm
+from repro.graph.csr import CSRGraph
+
+#: Ablation order of paper Fig. 10 (cumulative optimizations).
+FIG10_STEPS = (
+    ("Baseline", dict()),
+    ("OPT-O", dict(opt_o=True)),
+    ("OPT-O + OPT-E", dict(opt_o=True, opt_e=True)),
+    ("OPT-O + OPT-E + OPT-D", dict(opt_o=True, opt_e=True, opt_d=True)),
+)
+
+#: Back-end channel sweep of paper Fig. 11.
+FIG11_HIGRAPH_CHANNELS = (32, 64, 128, 256)
+FIG11_GRAPHDYNS_CHANNELS = (32, 64)   # "does not support more than 64"
+
+#: Per-channel FIFO entries swept in paper Fig. 12 (x-axis 0..350,
+#: chosen operating point 160).
+FIG12_BUFFER_SIZES = (8, 20, 40, 80, 160, 320)
+
+#: Radix sweep of §5.4.  64 back-end channels admit radix 2, 4 and 8
+#: (64 = 2^6 = 4^3 = 8^2) so one sweep covers the design space.
+SEC54_RADICES = (2, 4, 8)
+SEC54_CHANNELS = 64
+
+
+def fig10_rows(dataset: str = "R14", algorithms=("BFS", "SSSP", "SSWP", "PR"),
+               graph: CSRGraph | None = None) -> list[dict]:
+    """Fig. 10(a) + (b): cumulative-optimization throughput & starvation."""
+    graph = graph if graph is not None else load_bench_graph(dataset)
+    rows = []
+    for alg_name in algorithms:
+        for label, opts in FIG10_STEPS:
+            cfg = ablation(**opts)
+            stats = simulate(cfg, graph, make_bench_algorithm(alg_name)).stats
+            rows.append({
+                "algorithm": alg_name,
+                "step": label,
+                "gteps": stats.gteps,
+                "starvation_cycles": stats.vpe_starvation_cycles,
+                "cycles": stats.total_cycles,
+            })
+    return rows
+
+
+def fig11_rows(dataset: str = "R14", graph: CSRGraph | None = None) -> list[dict]:
+    """Fig. 11: throughput versus number of back-end channels (PR/R14)."""
+    graph = graph if graph is not None else load_bench_graph(dataset)
+    rows = []
+    for channels in FIG11_GRAPHDYNS_CHANNELS:
+        cfg = graphdyns(back_channels=channels)
+        stats = simulate(cfg, graph, make_bench_algorithm("PR")).stats
+        rows.append({"design": "GraphDynS", "back_channels": channels,
+                     "frequency_ghz": stats.frequency_ghz, "gteps": stats.gteps})
+    for channels in FIG11_HIGRAPH_CHANNELS:
+        cfg = higraph(back_channels=channels)
+        stats = simulate(cfg, graph, make_bench_algorithm("PR")).stats
+        rows.append({"design": "HiGraph", "back_channels": channels,
+                     "frequency_ghz": stats.frequency_ghz, "gteps": stats.gteps})
+    return rows
+
+
+def fig12_rows(dataset: str = "R14", buffer_sizes=FIG12_BUFFER_SIZES,
+               graph: CSRGraph | None = None) -> list[dict]:
+    """Fig. 12: throughput versus per-channel FIFO buffer size.
+
+    "We keep all designs in HiGraph the same except for the dataflow
+    propagation stage, in which we replace MDP-network with
+    FIFO-plus-crossbar design."
+    """
+    graph = graph if graph is not None else load_bench_graph(dataset)
+    rows = []
+    for entries in buffer_sizes:
+        for prop_site, label in (("mdp", "MDP-network"),
+                                 ("crossbar", "FIFO+crossbar")):
+            cfg = higraph(propagation_site=prop_site, fifo_depth=entries)
+            stats = simulate(cfg, graph, make_bench_algorithm("PR")).stats
+            rows.append({"design": label, "buffer_entries": entries,
+                         "gteps": stats.gteps})
+    return rows
+
+
+def sec54_radix_rows(dataset: str = "R14",
+                     graph: CSRGraph | None = None) -> list[dict]:
+    """§5.4 radix study: 'a too large radix still encounters design
+    centralization, which degrades the performance'."""
+    graph = graph if graph is not None else load_bench_graph(dataset)
+    rows = []
+    for radix in SEC54_RADICES:
+        cfg = higraph(back_channels=SEC54_CHANNELS, front_channels=SEC54_CHANNELS,
+                      radix=radix)
+        stats = simulate(cfg, graph, make_bench_algorithm("PR")).stats
+        rows.append({
+            "radix": radix,
+            "frequency_ghz": stats.frequency_ghz,
+            "gteps": stats.gteps,
+            "cycles": stats.total_cycles,
+        })
+    return rows
+
+
+def combining_ablation_rows(dataset: str = "R14",
+                            graph: CSRGraph | None = None) -> list[dict]:
+    """Extension ablation: vertex coalescing on/off at the propagation
+    site for both interconnects (design-choice study from DESIGN.md)."""
+    graph = graph if graph is not None else load_bench_graph(dataset)
+    rows = []
+    for combining in (True, False):
+        for maker, label in ((higraph, "HiGraph"), (graphdyns, "GraphDynS")):
+            cfg = maker(vertex_combining=combining)
+            stats = simulate(cfg, graph, make_bench_algorithm("PR")).stats
+            rows.append({"design": label, "combining": combining,
+                         "gteps": stats.gteps})
+    return rows

@@ -1,0 +1,153 @@
+"""Benchmark harness: runs the paper's evaluation matrix and formats rows.
+
+The harness is what the ``benchmarks/`` suite drives.  Dataset sizing:
+pure-Python cycle simulation costs roughly a microsecond per
+component-cycle, so the default harness runs **reduced-scale stand-ins**
+(~60k-130k edges each, mean degree and hub skew preserved — see
+``repro.graph.datasets``).  Set the ``REPRO_SCALE`` environment variable
+to override, e.g. ``REPRO_SCALE=1.0`` for paper-sized graphs (slow: an
+hour or more for the full matrix on one core).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.accel import AcceleratorConfig, SimStats, graphdyns, higraph, higraph_mini, simulate
+from repro.algorithms import PAPER_ALGORITHMS, make_algorithm
+from repro.graph import DATASET_ORDER, load
+from repro.graph.datasets import SCALE_ENV_VAR
+
+#: Default per-dataset scales: each stand-in lands at ~60k-130k edges so
+#: the whole figure suite completes in minutes on one core.
+DEFAULT_BENCH_SCALES: dict[str, float] = {
+    "VT": 1.0,
+    "EP": 0.125,
+    "SL": 0.125,
+    "TW": 0.0625,
+    "R14": 0.125,
+    "R16": 0.03125,
+}
+
+#: PageRank iterations used by the benches (documented in EXPERIMENTS.md;
+#: throughput is iteration-count-insensitive because every iteration
+#: processes the same all-active workload).
+BENCH_PR_ITERATIONS = 2
+
+
+def bench_scale(key: str) -> float:
+    """Dataset scale for benches: REPRO_SCALE (if set) wins."""
+    env = os.environ.get(SCALE_ENV_VAR)
+    if env is not None:
+        return float(env)
+    return DEFAULT_BENCH_SCALES[key]
+
+
+def load_bench_graph(key: str):
+    return load(key, scale=bench_scale(key))
+
+
+def make_bench_algorithm(name: str):
+    if name == "PR":
+        return make_algorithm("PR", iterations=BENCH_PR_ITERATIONS)
+    return make_algorithm(name)
+
+
+def paper_configs() -> dict[str, AcceleratorConfig]:
+    """The three Table 1 designs, in plotting order."""
+    return {
+        "GraphDynS": graphdyns(),
+        "HiGraph-mini": higraph_mini(),
+        "HiGraph": higraph(),
+    }
+
+
+@dataclass
+class MatrixResult:
+    """All (algorithm, dataset, config) runs of the Fig. 8/9 evaluation."""
+
+    stats: dict[tuple[str, str, str], SimStats]
+
+    def get(self, algorithm: str, dataset: str, config: str) -> SimStats:
+        return self.stats[(algorithm, dataset, config)]
+
+    def speedup_rows(self) -> list[dict]:
+        """Fig. 8: speedup of HiGraph-mini / HiGraph over GraphDynS."""
+        rows = []
+        for alg in PAPER_ALGORITHMS:
+            for ds in DATASET_ORDER:
+                base = self.get(alg, ds, "GraphDynS")
+                rows.append({
+                    "algorithm": alg,
+                    "dataset": ds,
+                    "speedup_mini": self.get(alg, ds, "HiGraph-mini").speedup_over(base),
+                    "speedup_higraph": self.get(alg, ds, "HiGraph").speedup_over(base),
+                })
+        return rows
+
+    def throughput_rows(self) -> list[dict]:
+        """Fig. 9: GTEPS for all three designs."""
+        rows = []
+        for alg in PAPER_ALGORITHMS:
+            for ds in DATASET_ORDER:
+                rows.append({
+                    "algorithm": alg,
+                    "dataset": ds,
+                    "graphdyns_gteps": self.get(alg, ds, "GraphDynS").gteps,
+                    "mini_gteps": self.get(alg, ds, "HiGraph-mini").gteps,
+                    "higraph_gteps": self.get(alg, ds, "HiGraph").gteps,
+                })
+        return rows
+
+
+def run_matrix(algorithms=PAPER_ALGORITHMS, datasets=DATASET_ORDER,
+               configs=None, source: int = 0) -> MatrixResult:
+    """Run the full evaluation matrix (the engine behind Fig. 8 and 9)."""
+    configs = configs or paper_configs()
+    stats: dict[tuple[str, str, str], SimStats] = {}
+    for ds in datasets:
+        graph = load_bench_graph(ds)
+        for alg_name in algorithms:
+            for cfg_name, cfg in configs.items():
+                result = simulate(cfg, graph, make_bench_algorithm(alg_name),
+                                  source=source)
+                stats[(alg_name, ds, cfg_name)] = result.stats
+    return MatrixResult(stats)
+
+
+# ----------------------------------------------------------------------
+# Formatting
+# ----------------------------------------------------------------------
+
+def format_table(rows: list[dict], columns: list[str] | None = None,
+                 title: str | None = None, floatfmt: str = ".2f") -> str:
+    """Fixed-width text table (the shape the paper's figures report)."""
+    if not rows:
+        return "(no rows)\n"
+    columns = columns or list(rows[0].keys())
+    rendered = [[_fmt(row.get(col), floatfmt) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value, floatfmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def save_rows(path: str, text: str) -> None:
+    """Persist a rendered table next to the benchmark outputs."""
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)

@@ -1,0 +1,77 @@
+"""Consolidated experiment report builder.
+
+Collects the tables the benchmark suite wrote under
+``benchmarks/results/`` into one markdown document — the mechanical
+companion to EXPERIMENTS.md (which adds the paper-vs-measured
+commentary).
+"""
+
+from __future__ import annotations
+
+import os
+from datetime import date
+
+#: Section order and titles for the consolidated report.
+REPORT_SECTIONS: tuple[tuple[str, str], ...] = (
+    ("table1_configs", "Table 1 — configurations"),
+    ("table2_datasets", "Table 2 — benchmark datasets"),
+    ("fig04_crossbar_frequency", "Fig. 4 — crossbar frequency vs ports"),
+    ("fig07_memory_layout", "Fig. 7 — on-chip memory layout"),
+    ("fig08_speedup", "Fig. 8 — speedup over GraphDynS"),
+    ("fig09_throughput", "Fig. 9 — throughput (GTEPS)"),
+    ("fig10a_opt_throughput", "Fig. 10(a) — optimization ablation"),
+    ("fig10b_starvation", "Fig. 10(b) — vPE starvation"),
+    ("fig11_scalability", "Fig. 11 — back-end channel scaling"),
+    ("fig12_buffer_size", "Fig. 12 — buffer size sweep"),
+    ("sec54_radix", "Sec. 5.4 — radix design option"),
+    ("sec54_area_power", "Sec. 5.4 — area and power"),
+    ("discussion_slicing", "Sec. 5.3 — slicing + double buffering"),
+    ("ablation_combining", "Ablation — vertex coalescing"),
+    ("ablation_latency", "Ablation — latency vs throughput"),
+)
+
+
+def collect_results(results_dir: str) -> dict[str, str]:
+    """Read every known results table that exists; key -> text."""
+    found = {}
+    for key, _title in REPORT_SECTIONS:
+        path = os.path.join(results_dir, f"{key}.txt")
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                found[key] = fh.read()
+    return found
+
+
+def build_report(results_dir: str, title: str = "HiGraph reproduction — "
+                 "measured results") -> str:
+    """Render the consolidated markdown report."""
+    tables = collect_results(results_dir)
+    lines = [f"# {title}", "",
+             f"Generated {date.today().isoformat()} from `{results_dir}`.",
+             ""]
+    missing = []
+    for key, section_title in REPORT_SECTIONS:
+        if key in tables:
+            lines.append(f"## {section_title}")
+            lines.append("")
+            lines.append("```")
+            lines.append(tables[key].rstrip("\n"))
+            lines.append("```")
+            lines.append("")
+        else:
+            missing.append(section_title)
+    if missing:
+        lines.append("## Missing sections")
+        lines.append("")
+        lines.append("Run `pytest benchmarks/ --benchmark-only` to produce:")
+        for m in missing:
+            lines.append(f"* {m}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(results_dir: str, output_path: str) -> str:
+    text = build_report(results_dir)
+    with open(output_path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return text

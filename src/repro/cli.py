@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``   run one algorithm/dataset on one design (or all three)
+``netlist``    generate an MDP-network and emit structural Verilog
+``datasets``   print the Table 2 registry and generated stand-in sizes
+``figure``     regenerate one of the paper's figure data series
+``frequency``  print the Fig. 4 / MDP timing model for a structure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.accel import graphdyns, higraph, higraph_mini, simulate
+from repro.algorithms import make_algorithm
+from repro.bench import format_table
+from repro.graph import DATASET_ORDER, TABLE2, load
+
+_CONFIG_MAKERS = {
+    "higraph": higraph,
+    "higraph-mini": higraph_mini,
+    "graphdyns": graphdyns,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HiGraph / MDP-network reproduction (DAC 2022)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="cycle-simulate one workload")
+    sim.add_argument("--dataset", default="R14", choices=sorted(TABLE2))
+    sim.add_argument("--scale", type=float, default=0.0625,
+                     help="dataset scale in (0, 1] (default 0.0625)")
+    sim.add_argument("--algorithm", default="PR",
+                     help="BFS | SSSP | SSWP | PR | CC | REACH")
+    sim.add_argument("--config", default="all",
+                     choices=sorted(_CONFIG_MAKERS) + ["all"])
+    sim.add_argument("--source", type=int, default=0)
+    sim.add_argument("--pr-iterations", type=int, default=2)
+
+    net = sub.add_parser("netlist", help="generate an MDP-network")
+    net.add_argument("--channels", type=int, default=16)
+    net.add_argument("--radix", type=int, default=2)
+    net.add_argument("--depth", type=int, default=160)
+    net.add_argument("-o", "--output", default=None,
+                     help="write Verilog here (default: summary only)")
+
+    sub.add_parser("datasets", help="print the Table 2 registry")
+
+    fig = sub.add_parser("figure", help="regenerate a figure's data series")
+    fig.add_argument("name", choices=["fig4", "fig10", "fig11", "fig12",
+                                      "radix", "combining"])
+    fig.add_argument("--dataset", default="R14")
+    fig.add_argument("--scale", type=float, default=0.0625)
+
+    freq = sub.add_parser("frequency", help="timing model lookup")
+    freq.add_argument("--crossbar-ports", type=int, default=None)
+    freq.add_argument("--mdp-channels", type=int, default=None)
+    freq.add_argument("--radix", type=int, default=2)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "simulate": _cmd_simulate,
+        "netlist": _cmd_netlist,
+        "datasets": _cmd_datasets,
+        "figure": _cmd_figure,
+        "frequency": _cmd_frequency,
+    }[args.command]
+    return handler(args)
+
+
+# ----------------------------------------------------------------------
+
+def _cmd_simulate(args) -> int:
+    graph = load(args.dataset, scale=args.scale)
+    print(f"workload: {args.algorithm} on {graph}")
+    names = sorted(_CONFIG_MAKERS) if args.config == "all" else [args.config]
+    rows = []
+    for name in names:
+        if args.algorithm.upper() in ("PR", "PAGERANK"):
+            algorithm = make_algorithm("PR", iterations=args.pr_iterations)
+        else:
+            algorithm = make_algorithm(args.algorithm)
+        stats = simulate(_CONFIG_MAKERS[name](), graph, algorithm,
+                         source=args.source).stats
+        rows.append(stats.summary())
+    print(format_table(rows, columns=["config", "iterations", "cycles",
+                                      "edges", "gteps", "edges_per_cycle",
+                                      "vpe_starvation_cycles"]))
+    return 0
+
+
+def _cmd_netlist(args) -> int:
+    from repro.mdp import build_netlist, emit_verilog, netlist_summary
+    net = build_netlist(args.channels, args.radix, fifo_depth=args.depth)
+    for key, value in netlist_summary(net).items():
+        print(f"{key:20s}: {value}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(emit_verilog(net))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    rows = []
+    for key in DATASET_ORDER:
+        spec = TABLE2[key]
+        rows.append({
+            "name": key,
+            "vertices": spec.num_vertices,
+            "edges": spec.num_edges,
+            "degree": spec.degree,
+            "description": spec.description,
+        })
+    print(format_table(rows, title="Table 2: benchmark datasets"))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.bench import (
+        combining_ablation_rows,
+        fig10_rows,
+        fig11_rows,
+        fig12_rows,
+        sec54_radix_rows,
+    )
+    from repro.hw import fig4_rows
+    if args.name == "fig4":
+        print(format_table(fig4_rows(), floatfmt=".3f"))
+        return 0
+    graph = load(args.dataset, scale=args.scale)
+    rows = {
+        "fig10": lambda: fig10_rows(graph=graph),
+        "fig11": lambda: fig11_rows(graph=graph),
+        "fig12": lambda: fig12_rows(graph=graph),
+        "radix": lambda: sec54_radix_rows(graph=graph),
+        "combining": lambda: combining_ablation_rows(graph=graph),
+    }[args.name]()
+    print(format_table(rows))
+    from repro.bench import bar_chart, series_chart
+    if args.name == "fig11":
+        print(series_chart(rows, "back_channels", "gteps", "design",
+                           title="GTEPS vs back-end channels"))
+    elif args.name == "fig12":
+        print(series_chart(rows, "buffer_entries", "gteps", "design",
+                           title="GTEPS vs per-channel buffer entries"))
+    elif args.name == "fig10":
+        print(bar_chart(rows, "step", "gteps", group_key="algorithm",
+                        title="GTEPS per optimization step"))
+    elif args.name == "radix":
+        print(bar_chart(rows, "radix", "gteps", title="GTEPS per radix"))
+    return 0
+
+
+def _cmd_frequency(args) -> int:
+    from repro.hw import (
+        crossbar_frequency_ghz,
+        design_frequency_ghz,
+        mdp_frequency_ghz,
+    )
+    if args.crossbar_ports:
+        print(f"crossbar({args.crossbar_ports} ports): "
+              f"{crossbar_frequency_ghz(args.crossbar_ports):.3f} GHz")
+    if args.mdp_channels:
+        print(f"mdp({args.mdp_channels} channels, radix {args.radix}): "
+              f"{mdp_frequency_ghz(args.mdp_channels, args.radix):.3f} GHz")
+    print(f"design frequency (capped at 1 GHz target): "
+          f"{design_frequency_ghz(crossbar_ports=args.crossbar_ports, mdp_channels=args.mdp_channels, mdp_radix=args.radix):.3f} GHz")
+    return 0
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

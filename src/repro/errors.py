@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing genuine bugs (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """A graph container is structurally invalid (bad offsets, dangling edges...)."""
+
+
+class GenerationError(ReproError):
+    """A synthetic graph generator was given unusable parameters."""
+
+
+class ConfigError(ReproError):
+    """An accelerator / network configuration is inconsistent or unsupported."""
+
+
+class CapacityError(ReproError):
+    """A dataset does not fit the modelled on-chip memory and slicing is disabled."""
+
+
+class SimulationError(ReproError):
+    """The cycle simulator reached an inconsistent state (internal invariant broken)."""

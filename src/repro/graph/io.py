@@ -1,0 +1,72 @@
+"""Graph serialization: whitespace edge-list text and compressed ``.npz``.
+
+The text format is the de-facto SNAP layout (``src dst [weight]`` per
+line, ``#`` comments), so real datasets drop in unchanged when they are
+available.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+
+def save_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write ``src dst weight`` lines with a small header comment."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# {graph.name}\n")
+        fh.write(f"# vertices: {graph.num_vertices} edges: {graph.num_edges}\n")
+        srcs = graph.edge_sources()
+        for s, d, w in zip(srcs, graph.dst, graph.weights):
+            fh.write(f"{s} {d} {w}\n")
+
+
+def load_edge_list(path: str | os.PathLike, num_vertices: int | None = None,
+                   name: str | None = None) -> CSRGraph:
+    """Read a SNAP-style edge list.
+
+    Lines are ``src dst`` or ``src dst weight``; missing weights default
+    to 1.  ``num_vertices`` defaults to ``max id + 1``.
+    """
+    srcs: list[int] = []
+    dsts: list[int] = []
+    weights: list[int] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphFormatError(f"{path}:{lineno}: expected 2-3 fields, got {len(parts)}")
+            try:
+                s, d = int(parts[0]), int(parts[1])
+                w = int(parts[2]) if len(parts) == 3 else 1
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{lineno}: non-integer field") from exc
+            srcs.append(s)
+            dsts.append(d)
+            weights.append(w)
+    if num_vertices is None:
+        num_vertices = (max(max(srcs, default=-1), max(dsts, default=-1)) + 1) if srcs else 0
+    pairs = np.stack([np.array(srcs, dtype=np.int64), np.array(dsts, dtype=np.int64)],
+                     axis=1) if srcs else np.zeros((0, 2), dtype=np.int64)
+    return CSRGraph.from_edges(num_vertices, pairs,
+                               np.array(weights, dtype=np.int64),
+                               name=name or os.path.basename(str(path)))
+
+
+def save_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Binary round-trip format (fast, exact)."""
+    np.savez_compressed(path, offsets=graph.offsets, dst=graph.dst,
+                        weights=graph.weights, name=np.array(graph.name))
+
+
+def load_npz(path: str | os.PathLike) -> CSRGraph:
+    with np.load(path, allow_pickle=False) as data:
+        return CSRGraph(data["offsets"], data["dst"], data["weights"],
+                        name=str(data["name"]))

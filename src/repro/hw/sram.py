@@ -1,0 +1,80 @@
+"""Interleaved banked on-chip memory model.
+
+"To meet the requirement of data-access throughput in such a design,
+the buffer for each data array is divided into several parts and
+organized in the fashion of interleaving." (§2.2)
+
+Each bank serves one address per cycle; concurrent reads of the *same*
+address on the same bank merge (a broadcast read — the paper's odd-even
+arbiter explicitly allows issuing when "their target addresses are the
+same with those who have occupied the read channels").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class BankedMemory:
+    """A numpy-backed data array interleaved across ``num_banks`` parts.
+
+    The owning pipeline stage drives arbitration; this class enforces the
+    one-address-per-bank-per-cycle port limit and keeps utilization
+    statistics.  Call :meth:`begin_cycle` once per simulated cycle.
+    """
+
+    def __init__(self, data: np.ndarray, num_banks: int, name: str = "mem") -> None:
+        if num_banks < 1:
+            raise ConfigError(f"{name}: need at least one bank")
+        self.data = data
+        self.num_banks = num_banks
+        self.name = name
+        self._claims: dict[int, int] = {}   # bank -> address claimed this cycle
+        self.cycles = 0
+        self.reads = 0
+        self.merged_reads = 0
+        self.busy_bank_cycles = 0
+
+    def bank_of(self, addr: int) -> int:
+        return addr % self.num_banks
+
+    def begin_cycle(self) -> None:
+        self.busy_bank_cycles += len(self._claims)
+        self._claims.clear()
+        self.cycles += 1
+
+    def try_read(self, addr: int):
+        """Read ``data[addr]`` if the bank port is free (or address-shared).
+
+        Returns the value, or None when the bank is already claimed for a
+        different address this cycle.
+        """
+        bank = addr % self.num_banks
+        claimed = self._claims.get(bank)
+        if claimed is None:
+            self._claims[bank] = addr
+            self.reads += 1
+            return self.data[addr]
+        if claimed == addr:
+            self.merged_reads += 1
+            return self.data[addr]
+        return None
+
+    def read_granted(self, addr: int):
+        """Read after external arbitration already granted the port.
+
+        Used by stages whose arbiter (odd-even / greedy claim) resolved
+        bank conflicts beforehand; still records port statistics.
+        """
+        self._claims[addr % self.num_banks] = addr
+        self.reads += 1
+        return self.data[addr]
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of banks busy per cycle (post begin_cycle accounting)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.busy_bank_cycles / (self.cycles * self.num_banks)

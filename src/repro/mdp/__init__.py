@@ -1,0 +1,49 @@
+"""MDP-network: the paper's contribution.
+
+* :mod:`repro.mdp.generator` — Algorithm 1 wiring generator (radix-r).
+* :mod:`repro.mdp.netlist` — structural netlist + Verilog emission (the
+  open-source artifact the paper publishes).
+* :mod:`repro.mdp.network` — cycle-level network model (§3).
+* :mod:`repro.mdp.replay` — Replay Engine, {Off, nOff} -> {Off, Len} (§4.2).
+* :mod:`repro.mdp.range_network` — length-splitting variant for Edge
+  Array access (§4.2).
+* :mod:`repro.mdp.dispatcher` — consecutive-bank issue unit (§4.2).
+"""
+
+from repro.mdp.dispatcher import Dispatcher
+from repro.mdp.generator import (
+    ModuleSpec,
+    NetworkPlan,
+    StagePlan,
+    generate_network,
+    pair_list,
+    validate_plan,
+)
+from repro.mdp.netlist import (
+    Netlist,
+    build_netlist,
+    emit_verilog,
+    netlist_summary,
+)
+from repro.mdp.network import MdpNetworkSim
+from repro.mdp.range_network import RangeSplitNetwork, split_by_blocks
+from repro.mdp.replay import ReplayEngine, split_request
+
+__all__ = [
+    "ModuleSpec",
+    "StagePlan",
+    "NetworkPlan",
+    "generate_network",
+    "pair_list",
+    "validate_plan",
+    "Netlist",
+    "build_netlist",
+    "emit_verilog",
+    "netlist_summary",
+    "MdpNetworkSim",
+    "RangeSplitNetwork",
+    "split_by_blocks",
+    "ReplayEngine",
+    "split_request",
+    "Dispatcher",
+]

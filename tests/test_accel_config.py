@@ -1,0 +1,132 @@
+"""Tests for accelerator configurations (Table 1) and the Fig. 7 layout."""
+
+import pytest
+
+from repro.accel import (
+    AcceleratorConfig,
+    ablation,
+    fig7_layout,
+    graphdyns,
+    higraph,
+    higraph_mini,
+)
+from repro.errors import ConfigError
+
+
+class TestTable1Presets:
+    def test_higraph_matches_table1(self):
+        cfg = higraph()
+        assert cfg.front_channels == 32
+        assert cfg.back_channels == 32
+        assert cfg.onchip_memory_bytes == 16 * 2**20
+        assert cfg.frequency_ghz() == 1.0
+
+    def test_higraph_mini_matches_table1(self):
+        cfg = higraph_mini()
+        assert cfg.front_channels == 4
+        assert cfg.back_channels == 32
+        assert cfg.frequency_ghz() == 1.0
+
+    def test_graphdyns_matches_table1(self):
+        cfg = graphdyns()
+        assert cfg.front_channels == 4
+        assert cfg.back_channels == 32
+        assert cfg.onchip_memory_bytes == 32 * 2**20
+        assert cfg.offset_site == "crossbar"
+        assert cfg.edge_site == "central"
+        assert cfg.propagation_site == "crossbar"
+        assert cfg.frequency_ghz() == pytest.approx(1.0, abs=1e-9)
+
+    def test_all_presets_run_at_1ghz(self):
+        """Table 1: every configuration is clocked at 1 GHz."""
+        for cfg in (higraph(), higraph_mini(), graphdyns()):
+            assert cfg.frequency_ghz() == pytest.approx(1.0, abs=1e-9)
+
+    def test_ideal_throughput_32_gteps(self):
+        """Fig. 9: 'The ideal throughput is 32 GTEPS.'"""
+        assert higraph().ideal_gteps() == pytest.approx(32.0)
+
+    def test_graphdyns_beyond_64_channels_loses_frequency(self):
+        """Fig. 11: GraphDynS 'does not support more than 64 channels
+        due to significant frequency decline'."""
+        assert graphdyns(back_channels=64).frequency_ghz() < 0.8
+        assert graphdyns(back_channels=128).frequency_ghz() < 0.55
+
+    def test_higraph_scales_to_256_channels_at_1ghz(self):
+        """§5.3: HiGraph's critical path stays under 1 ns up to 256
+        channels (0.93 ns -> 0.97 ns)."""
+        for ch in (32, 64, 128, 256):
+            assert higraph(back_channels=ch).frequency_ghz() == 1.0
+
+
+class TestAblationConfigs:
+    def test_baseline_has_no_mdp(self):
+        cfg = ablation()
+        assert cfg.name == "Baseline"
+        assert (cfg.offset_site, cfg.edge_site, cfg.propagation_site) == (
+            "crossbar", "central", "crossbar")
+
+    def test_opt_flags_rename_and_rewire(self):
+        cfg = ablation(opt_o=True)
+        assert cfg.name == "OPT-O"
+        assert cfg.offset_site == "mdp"
+        cfg = ablation(opt_o=True, opt_e=True)
+        assert cfg.name == "OPT-O+E"
+        assert cfg.edge_site == "mdp"
+        cfg = ablation(opt_o=True, opt_e=True, opt_d=True)
+        assert cfg.name == "OPT-O+E+D"
+        assert cfg.propagation_site == "mdp"
+
+    def test_full_ablation_equals_higraph_sites(self):
+        full = ablation(opt_o=True, opt_e=True, opt_d=True)
+        hi = higraph()
+        assert (full.offset_site, full.edge_site, full.propagation_site) == (
+            hi.offset_site, hi.edge_site, hi.propagation_site)
+
+
+class TestValidation:
+    def test_bad_site_rejected(self):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(offset_site="magic")
+
+    def test_mdp_site_requires_power_of_radix(self):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(front_channels=12, offset_site="mdp")
+
+    def test_crossbar_site_allows_any_count(self):
+        AcceleratorConfig(front_channels=12, offset_site="crossbar",
+                          back_channels=32)
+
+    def test_dispatcher_group_must_divide_channels(self):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(back_channels=32, dispatcher_group=5)
+
+    def test_fifo_depth_at_least_radix(self):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(fifo_depth=1)
+
+    def test_radix4_requires_power_of_4(self):
+        AcceleratorConfig(front_channels=16, back_channels=16, radix=4,
+                          dispatcher_group=4)
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(front_channels=32, back_channels=32, radix=4)
+
+    def test_with_updates(self):
+        cfg = higraph().with_(fifo_depth=64)
+        assert cfg.fifo_depth == 64
+        assert cfg.name == "HiGraph"
+
+
+class TestFig7Layout:
+    def test_arrays_match_paper_megabytes(self):
+        rows = {r["array"]: r for r in fig7_layout()}
+        assert rows["Edge Array"]["model_mb"] == pytest.approx(9.5, abs=0.05)
+        assert rows["Edge Info Array"]["model_mb"] == pytest.approx(2.0, abs=0.05)
+        assert rows["Offset Array"]["model_mb"] == pytest.approx(1.4, abs=0.05)
+        assert rows["Property Array"]["model_mb"] == pytest.approx(1.2, abs=0.05)
+        assert rows["ActiveVertex + tProperty Array"]["model_mb"] == pytest.approx(
+            2.4, abs=0.05)
+
+    def test_total_fits_16mb(self):
+        total = sum(r["model_mb"] for r in fig7_layout())
+        assert total <= 16.7   # paper rounds the same way

@@ -1,0 +1,98 @@
+"""Focused unit tests for the front-end stage implementations (site ①)."""
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.accel.config import higraph, graphdyns
+from repro.accel.frontend import (
+    CrossbarOffsetFrontend,
+    MdpOffsetFrontend,
+    make_frontend,
+)
+from repro.hw.fifo import Fifo
+
+
+def run_frontend(frontend, vertices, offsets, n, fe_out_depth=64,
+                 max_cycles=500):
+    """Drive a frontend until all vertices retire; return emitted requests."""
+    parts = [deque() for _ in range(n)]
+    for i, u in enumerate(vertices):
+        parts[i % n].append((u, float(u)))
+    fe_out = [Fifo(fe_out_depth) for _ in range(n)]
+    cycles = 0
+    while frontend.retired < len(vertices):
+        frontend.tick(parts, fe_out)
+        cycles += 1
+        assert cycles < max_cycles, "frontend did not retire all vertices"
+    requests = []
+    for f in fe_out:
+        while not f.empty:
+            requests.append(f.pop())
+    return requests, cycles
+
+
+@pytest.fixture
+def offsets():
+    # 8 vertices: degrees 2,0,3,1,4,0,2,1  (offsets length 9)
+    return np.array([0, 2, 2, 5, 6, 10, 10, 12, 13], dtype=np.int64)
+
+
+@pytest.mark.parametrize("factory,cfg", [
+    (MdpOffsetFrontend, higraph(front_channels=8)),
+    (CrossbarOffsetFrontend, graphdyns().with_(front_channels=8,
+                                               offset_site="crossbar")),
+])
+class TestBothFrontends:
+    def test_all_nonzero_degree_vertices_emit_requests(self, factory, cfg,
+                                                       offsets):
+        fe = factory(cfg, offsets)
+        requests, _ = run_frontend(fe, list(range(8)), offsets, 8)
+        # zero-degree vertices (1 and 5) are dropped silently
+        assert len(requests) == 6
+        emitted = sorted((off, length) for off, length, _ in requests)
+        assert emitted == [(0, 2), (2, 3), (5, 1), (6, 4), (10, 2), (12, 1)]
+
+    def test_sprop_carried_through(self, factory, cfg, offsets):
+        fe = factory(cfg, offsets)
+        requests, _ = run_frontend(fe, [2], offsets, 8)
+        assert requests == [(2, 3, 2.0)]
+
+    def test_retired_counts_drops_too(self, factory, cfg, offsets):
+        fe = factory(cfg, offsets)
+        run_frontend(fe, [1, 5], offsets, 8)   # both zero-degree
+        assert fe.retired == 2
+
+    def test_repeated_vertices_allowed(self, factory, cfg, offsets):
+        fe = factory(cfg, offsets)
+        requests, _ = run_frontend(fe, [0, 0, 0], offsets, 8)
+        assert [r[:2] for r in requests] == [(0, 2)] * 3
+
+    def test_drained_after_run(self, factory, cfg, offsets):
+        fe = factory(cfg, offsets)
+        run_frontend(fe, list(range(8)), offsets, 8)
+        assert fe.drained
+
+
+class TestFactory:
+    def test_make_frontend_selects_site(self, offsets):
+        assert isinstance(make_frontend(higraph(), offsets), MdpOffsetFrontend)
+        assert isinstance(make_frontend(graphdyns(), offsets),
+                          CrossbarOffsetFrontend)
+
+    def test_backpressure_from_full_fe_out(self, offsets):
+        """A full {Off, Len} queue must stall issue, not drop requests."""
+        cfg = higraph(front_channels=8)
+        fe = MdpOffsetFrontend(cfg, offsets)
+        parts = [deque() for _ in range(8)]
+        parts[0].append((0, 0.0))
+        fe_out = [Fifo(1) for _ in range(8)]
+        fe_out[0].push(("block", 0, 0.0))   # occupy the slot
+        for _ in range(20):
+            fe.tick(parts, fe_out)
+        assert fe.retired == 0              # stalled, nothing lost
+        fe_out[0].pop()
+        for _ in range(20):
+            fe.tick(parts, fe_out)
+        assert fe.retired == 1

@@ -1,0 +1,147 @@
+"""Performance-shape tests: the qualitative claims of the evaluation.
+
+These do not pin exact GTEPS values (our substrate is a Python cycle
+model, not the authors' RTL testbed) but assert the *relations* the
+paper reports: who wins, roughly by how much, and which counters move.
+Graphs are small enough for CI but large enough for steady-state
+behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import ablation, graphdyns, higraph, higraph_mini, simulate
+from repro.algorithms import BFS, PageRank
+from repro.graph import load
+
+
+@pytest.fixture(scope="module")
+def r14():
+    # scaled R14 stand-in: same degree (64) and full-size hub share
+    return load("R14", scale=0.0625)
+
+
+@pytest.fixture(scope="module")
+def ep():
+    # low-degree social graph: stresses the front end
+    return load("EP", scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def results(r14):
+    alg = lambda: PageRank(iterations=2)
+    return {name: simulate(cfg, r14, alg())
+            for name, cfg in [("GraphDynS", graphdyns()),
+                              ("HiGraph-mini", higraph_mini()),
+                              ("HiGraph", higraph())]}
+
+
+class TestOverallResults:
+    def test_higraph_beats_graphdyns(self, results):
+        """Fig. 8: HiGraph achieves 1.19x-2.23x speedup over GraphDynS."""
+        speedup = results["HiGraph"].stats.speedup_over(results["GraphDynS"].stats)
+        assert 1.1 < speedup < 2.6
+
+    def test_mini_beats_graphdyns(self, results):
+        speedup = results["HiGraph-mini"].stats.speedup_over(
+            results["GraphDynS"].stats)
+        assert speedup > 1.05
+
+    def test_higraph_at_least_mini(self, results):
+        assert (results["HiGraph"].stats.total_cycles
+                <= results["HiGraph-mini"].stats.total_cycles * 1.02)
+
+    def test_throughput_below_ideal(self, results):
+        """Fig. 9: nobody exceeds the 32 GTEPS ideal."""
+        for res in results.values():
+            assert res.gteps < 32.0
+
+    def test_higraph_reaches_majority_of_ideal(self, results):
+        """Fig. 9: HiGraph reaches a large fraction of ideal throughput
+        (paper: up to 78.1%)."""
+        assert results["HiGraph"].gteps > 0.55 * 32
+
+    def test_starvation_reduced(self, results):
+        """Fig. 10(b): optimizations cut vPE starvation (paper: ~58%)."""
+        base = results["GraphDynS"].stats.vpe_starvation_cycles
+        opt = results["HiGraph"].stats.vpe_starvation_cycles
+        assert opt < base * 0.75
+
+    def test_front_end_channels_matter_on_low_degree(self, ep):
+        """More front-end channels pay off when mean degree is small
+        (each vertex yields little back-end work): HiGraph > mini on EP."""
+        mini = simulate(higraph_mini(), ep, BFS())
+        full = simulate(higraph(), ep, BFS())
+        assert full.stats.total_cycles < mini.stats.total_cycles * 0.95
+
+
+class TestFig10Ablation:
+    @pytest.fixture(scope="class")
+    def steps(self, r14):
+        alg = lambda: PageRank(iterations=2)
+        configs = [
+            ablation(),
+            ablation(opt_o=True),
+            ablation(opt_o=True, opt_e=True),
+            ablation(opt_o=True, opt_e=True, opt_d=True),
+        ]
+        return [simulate(cfg, r14, alg()) for cfg in configs]
+
+    def test_each_optimization_never_hurts(self, steps):
+        cycles = [s.stats.total_cycles for s in steps]
+        for before, after in zip(cycles, cycles[1:]):
+            assert after <= before * 1.05
+
+    def test_opt_d_gains_most_on_pr(self, steps):
+        """Fig. 10(a): 'when using Opt-D ... the design gains more
+        performance improvement' — the propagation site dominates."""
+        g_o = steps[0].gteps
+        g_oe = steps[2].gteps
+        g_oed = steps[3].gteps
+        assert (g_oed - g_oe) > (g_oe - g_o)
+
+    def test_front_end_opts_do_not_help_pr(self, steps):
+        """Fig. 10(a): 'the optimizations in front-end part almost gain
+        no performance improvement on the PR algorithm'."""
+        base, opt_o = steps[0], steps[1]
+        assert abs(opt_o.stats.total_cycles
+                   - base.stats.total_cycles) < 0.1 * base.stats.total_cycles
+
+    def test_starvation_declines_along_ablation(self, steps):
+        starv = [s.stats.vpe_starvation_cycles for s in steps]
+        assert starv[-1] < starv[0]
+
+
+class TestScalabilityShape:
+    def test_higraph_scales_with_back_channels(self, r14):
+        """Fig. 11 shape: more back-end channels -> more GTEPS for
+        HiGraph (frequency holds at 1 GHz)."""
+        g32 = simulate(higraph(back_channels=32), r14, PageRank(iterations=2))
+        g64 = simulate(higraph(back_channels=64), r14, PageRank(iterations=2))
+        assert g64.gteps > g32.gteps * 1.2
+
+    def test_graphdyns_gains_little_from_64_channels(self, r14):
+        """Fig. 11: GraphDynS's 64-port crossbar drops the frequency,
+        eating the parallelism gain."""
+        g32 = simulate(graphdyns(back_channels=32), r14, PageRank(iterations=2))
+        g64 = simulate(graphdyns(back_channels=64), r14, PageRank(iterations=2))
+        assert g64.gteps < g32.gteps * 1.35
+        assert g64.stats.frequency_ghz < 0.8
+
+
+class TestCountersSane:
+    def test_edges_per_cycle_below_channel_count(self, results):
+        for res in results.values():
+            assert res.stats.edges_per_cycle <= 32.0
+
+    def test_busy_plus_starved_equals_scatter_budget(self, r14):
+        res = simulate(higraph(), r14, BFS())
+        st = res.stats
+        assert (st.vpe_busy_cycles + st.vpe_starvation_cycles
+                == st.scatter_cycles * 32)
+
+    def test_summary_fields(self, results):
+        s = results["HiGraph"].stats.summary()
+        assert s["config"] == "HiGraph"
+        assert s["gteps"] > 0
+        assert s["cycles"] > 0

@@ -1,0 +1,89 @@
+"""Tests for the extension algorithms (ConnectedComponents, Reachability)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import graphdyns, higraph, simulate
+from repro.algorithms import ConnectedComponents, Reachability, make_algorithm, run_reference
+from repro.graph import CSRGraph, chain, erdos_renyi, star
+
+
+def symmetrize(g: CSRGraph) -> CSRGraph:
+    src = g.edge_sources()
+    both = np.concatenate([np.stack([src, g.dst], axis=1),
+                           np.stack([g.dst, src], axis=1)])
+    return CSRGraph.from_edges(g.num_vertices, both)
+
+
+class TestConnectedComponents:
+    def test_chain_is_one_component(self):
+        res = run_reference(chain(8), ConnectedComponents(), source=0)
+        assert np.all(res.properties == 0)
+
+    def test_disjoint_pieces_get_distinct_labels(self):
+        g = CSRGraph.from_edges(6, [(0, 1), (1, 0), (3, 4), (4, 3)])
+        res = run_reference(g, ConnectedComponents(), source=0)
+        labels = res.properties
+        assert labels[0] == labels[1] == 0
+        assert labels[3] == labels[4] == 3
+        assert labels[2] == 2 and labels[5] == 5
+
+    def test_matches_networkx_weakly_connected(self):
+        g = symmetrize(erdos_renyi(80, 60, seed=5))
+        res = run_reference(g, ConnectedComponents(), source=0)
+        ng = nx.Graph()
+        ng.add_nodes_from(range(g.num_vertices))
+        ng.add_edges_from((s, d) for s, d, _ in g.edges())
+        for comp in nx.connected_components(ng):
+            expected = min(comp)
+            for v in comp:
+                assert res.properties[v] == expected
+
+    def test_runs_on_hardware_sims(self):
+        g = symmetrize(erdos_renyi(60, 90, seed=6))
+        ref = run_reference(g, ConnectedComponents(), source=0)
+        for cfg in (higraph(), graphdyns()):
+            res = simulate(cfg, g, ConnectedComponents())
+            assert np.array_equal(res.properties, ref.properties)
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_labels_are_component_minima(self, seed):
+        g = symmetrize(erdos_renyi(30, 40, seed=seed))
+        labels = run_reference(g, ConnectedComponents(), source=0).properties
+        # a label never exceeds the vertex id, and endpoints agree
+        assert np.all(labels <= np.arange(g.num_vertices))
+        for s, d, _ in g.edges():
+            assert labels[s] == labels[d]
+
+
+class TestReachability:
+    def test_star_reaches_all_leaves(self):
+        res = run_reference(star(5), Reachability(), source=0)
+        assert np.all(res.properties == 1.0)
+
+    def test_directionality_respected(self):
+        g = CSRGraph.from_edges(3, [(1, 2)])
+        res = run_reference(g, Reachability(), source=0)
+        assert list(res.properties) == [1.0, 0.0, 0.0]
+
+    def test_equals_bfs_reachability(self):
+        g = erdos_renyi(70, 260, seed=8)
+        reach = run_reference(g, Reachability(), source=0).properties
+        bfs = run_reference(g, make_algorithm("BFS"), source=0).properties
+        assert np.array_equal(reach == 1.0, np.isfinite(bfs))
+
+    def test_on_hardware_sim(self):
+        g = erdos_renyi(64, 256, seed=9)
+        ref = run_reference(g, Reachability(), source=0)
+        res = simulate(higraph(), g, Reachability(), source=0)
+        assert np.array_equal(res.properties, ref.properties)
+
+    def test_make_algorithm_knows_extensions(self):
+        assert make_algorithm("cc").name == "CC"
+        assert make_algorithm("reach").name == "REACH"
+        with pytest.raises(ValueError):
+            make_algorithm("nope")

@@ -1,0 +1,71 @@
+"""Tests for the terminal chart renderers."""
+
+import pytest
+
+from repro.bench import bar_chart, series_chart
+from repro.errors import ConfigError
+
+
+ROWS = [
+    {"dataset": "VT", "design": "GraphDynS", "gteps": 10.0},
+    {"dataset": "VT", "design": "HiGraph", "gteps": 20.0},
+    {"dataset": "EP", "design": "GraphDynS", "gteps": 5.0},
+    {"dataset": "EP", "design": "HiGraph", "gteps": 15.0},
+]
+
+
+class TestBarChart:
+    def test_longest_bar_is_max_value(self):
+        text = bar_chart(ROWS, "dataset", "gteps", group_key="design")
+        lines = [l for l in text.splitlines() if "|" in l]
+        bars = {l.split("|")[0].strip(): l.split("|")[1].count("█") for l in lines}
+        assert bars["HiGraph/VT"] == max(bars.values())
+        assert bars["GraphDynS/EP"] < bars["HiGraph/VT"]
+
+    def test_values_printed(self):
+        text = bar_chart(ROWS, "dataset", "gteps")
+        assert "20.00" in text and "5.00" in text
+
+    def test_title(self):
+        text = bar_chart(ROWS, "dataset", "gteps", title="Fig. X")
+        assert text.splitlines()[0] == "Fig. X"
+
+    def test_proportionality(self):
+        rows = [{"k": "a", "v": 10.0}, {"k": "b", "v": 5.0}]
+        text = bar_chart(rows, "k", "v", width=40)
+        lines = text.splitlines()
+        assert lines[0].split("|")[1].count("█") == 40
+        assert lines[1].split("|")[1].count("█") == 20
+
+    def test_empty_rows(self):
+        assert bar_chart([], "x", "y") == "(no data)\n"
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(ConfigError):
+            bar_chart(ROWS, "nope", "gteps")
+
+    def test_zero_values_safe(self):
+        rows = [{"k": "a", "v": 0.0}]
+        text = bar_chart(rows, "k", "v")
+        assert "0.00" in text
+
+
+class TestSeriesChart:
+    def test_groups_by_x(self):
+        text = series_chart(ROWS, "dataset", "gteps", "design")
+        assert "GraphDynS @ VT" in text
+        assert "HiGraph @ EP" in text
+
+    def test_blank_line_between_groups(self):
+        text = series_chart(ROWS, "dataset", "gteps", "design")
+        assert "\n\n" in text
+
+    def test_empty(self):
+        assert series_chart([], "x", "y", "s") == "(no data)\n"
+
+    def test_works_on_fig11_shape(self):
+        rows = [{"design": "HiGraph", "back_channels": c, "gteps": c / 2}
+                for c in (32, 64, 128)]
+        text = series_chart(rows, "back_channels", "gteps", "design")
+        assert "HiGraph @ 32" in text
+        assert "64.00" in text

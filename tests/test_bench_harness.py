@@ -1,0 +1,124 @@
+"""Tests for the benchmark harness, figure runners and report builder."""
+
+import os
+
+import pytest
+
+from repro.accel import higraph
+from repro.bench import (
+    BENCH_PR_ITERATIONS,
+    DEFAULT_BENCH_SCALES,
+    REPORT_SECTIONS,
+    bench_scale,
+    build_report,
+    collect_results,
+    fig11_rows,
+    fig12_rows,
+    format_table,
+    load_bench_graph,
+    make_bench_algorithm,
+    paper_configs,
+    run_matrix,
+    write_report,
+)
+from repro.graph import DATASET_ORDER, chain, rmat
+from repro.graph.datasets import SCALE_ENV_VAR
+
+
+class TestHarness:
+    def test_default_scales_cover_all_datasets(self):
+        assert set(DEFAULT_BENCH_SCALES) == set(DATASET_ORDER)
+
+    def test_bench_scale_env_override(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "0.5")
+        assert bench_scale("R16") == 0.5
+        monkeypatch.delenv(SCALE_ENV_VAR)
+        assert bench_scale("R16") == DEFAULT_BENCH_SCALES["R16"]
+
+    def test_bench_graphs_have_bounded_size(self):
+        for key in DATASET_ORDER:
+            g = load_bench_graph(key)
+            assert g.num_edges <= 140_000, key
+
+    def test_bench_pr_iterations(self):
+        alg = make_bench_algorithm("PR")
+        assert alg.default_iterations == BENCH_PR_ITERATIONS
+        assert make_bench_algorithm("BFS").name == "BFS"
+
+    def test_paper_configs_order_and_names(self):
+        cfgs = paper_configs()
+        assert list(cfgs) == ["GraphDynS", "HiGraph-mini", "HiGraph"]
+
+    def test_run_matrix_tiny(self):
+        matrix = run_matrix(algorithms=("BFS",), datasets=("VT",),
+                            configs={"HiGraph": higraph()})
+        stats = matrix.get("BFS", "VT", "HiGraph")
+        assert stats.edges_processed > 0
+        assert stats.gteps > 0
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "2.50" in text and "0.12" in text
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no rows)\n"
+
+    def test_format_subset_columns(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        assert "b" not in text.splitlines()[0]
+
+
+class TestFigureRunners:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        return rmat(8, 16.0, seed=77)
+
+    def test_fig11_rows_structure(self, tiny):
+        rows = fig11_rows(graph=tiny)
+        designs = {r["design"] for r in rows}
+        assert designs == {"GraphDynS", "HiGraph"}
+        hi = [r for r in rows if r["design"] == "HiGraph"]
+        assert [r["back_channels"] for r in hi] == [32, 64, 128, 256]
+        for r in hi:
+            assert r["frequency_ghz"] == 1.0
+
+    def test_fig12_rows_structure(self, tiny):
+        rows = fig12_rows(graph=tiny, buffer_sizes=(8, 40))
+        assert len(rows) == 4
+        assert {r["design"] for r in rows} == {"MDP-network", "FIFO+crossbar"}
+
+
+class TestReport:
+    def test_collect_and_build(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig08_speedup.txt").write_text("fake table\n")
+        found = collect_results(str(results))
+        assert found == {"fig08_speedup": "fake table\n"}
+        report = build_report(str(results))
+        assert "Fig. 8" in report
+        assert "fake table" in report
+        assert "Missing sections" in report   # the rest not produced
+
+    def test_write_report(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        for key, _ in REPORT_SECTIONS:
+            (results / f"{key}.txt").write_text(f"{key} data\n")
+        out = tmp_path / "report.md"
+        text = write_report(str(results), str(out))
+        assert out.read_text() == text
+        assert "Missing sections" not in text
+        for _, title in REPORT_SECTIONS:
+            assert title in text
+
+    def test_empty_results_dir(self, tmp_path):
+        report = build_report(str(tmp_path))
+        assert "Missing sections" in report

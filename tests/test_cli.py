@@ -1,0 +1,80 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.dataset == "R14"
+        assert args.config == "all"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--dataset", "nope"])
+
+
+class TestCommands:
+    def test_datasets_prints_table2(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for key in ("VT", "EP", "SL", "TW", "R14", "R16"):
+            assert key in out
+        assert "1048576" in out   # R14 edges
+
+    def test_frequency_lookup(self, capsys):
+        assert main(["frequency", "--crossbar-ports", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "0.720 GHz" in out
+
+    def test_frequency_mdp(self, capsys):
+        assert main(["frequency", "--mdp-channels", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "mdp(32 channels" in out
+
+    def test_netlist_summary(self, capsys):
+        assert main(["netlist", "--channels", "8", "--radix", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fifo_instances" in out
+        assert "24" in out        # 8 channels x 3 stages
+
+    def test_netlist_writes_verilog(self, tmp_path, capsys):
+        target = tmp_path / "net.v"
+        assert main(["netlist", "--channels", "4", "-o", str(target)]) == 0
+        text = target.read_text()
+        assert "module mdp_network_n4_r2" in text
+
+    def test_simulate_single_config(self, capsys):
+        assert main(["simulate", "--dataset", "VT", "--scale", "0.05",
+                     "--algorithm", "BFS", "--config", "higraph"]) == 0
+        out = capsys.readouterr().out
+        assert "HiGraph" in out
+        assert "gteps" in out
+
+    def test_simulate_all_configs(self, capsys):
+        assert main(["simulate", "--dataset", "VT", "--scale", "0.05",
+                     "--algorithm", "PR", "--pr-iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        for name in ("GraphDynS", "HiGraph", "HiGraph-mini"):
+            assert name in out
+
+    def test_figure_fig4(self, capsys):
+        assert main(["figure", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "ports" in out and "256" in out
+
+    def test_figure_radix(self, capsys):
+        assert main(["figure", "radix", "--dataset", "R14",
+                     "--scale", "0.03125"]) == 0
+        out = capsys.readouterr().out
+        assert "radix" in out

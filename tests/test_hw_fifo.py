@@ -1,0 +1,117 @@
+"""Unit + property tests for FIFO models (incl. the paper's nW1R FIFO)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.hw import Fifo, MultiWriteFifo
+
+
+class TestFifo:
+    def test_order_preserved(self):
+        f = Fifo(4)
+        for x in (1, 2, 3):
+            f.push(x)
+        assert [f.pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_capacity_enforced(self):
+        f = Fifo(2)
+        f.push(1)
+        f.push(2)
+        assert f.full
+        with pytest.raises(OverflowError):
+            f.push(3)
+
+    def test_free_and_len(self):
+        f = Fifo(3)
+        assert f.free == 3 and len(f) == 0 and f.empty
+        f.push("a")
+        assert f.free == 2 and len(f) == 1 and not f.empty
+
+    def test_peek_does_not_pop(self):
+        f = Fifo(2)
+        f.push(7)
+        assert f.peek() == 7
+        assert len(f) == 1
+
+    def test_peak_occupancy_tracked(self):
+        f = Fifo(4)
+        f.push(1)
+        f.push(2)
+        f.pop()
+        f.push(3)
+        assert f.peak_occupancy == 2
+        assert f.total_pushes == 3
+
+    def test_clear(self):
+        f = Fifo(2)
+        f.push(1)
+        f.clear()
+        assert f.empty
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            Fifo(0)
+
+    @given(ops=st.lists(st.one_of(st.integers(0, 100), st.none()), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_behaves_like_bounded_deque(self, ops):
+        """Push ints / pop on None; must match a plain list model."""
+        from collections import deque
+        f, model = Fifo(8), deque()
+        for op in ops:
+            if op is None:
+                if model:
+                    assert f.pop() == model.popleft()
+                else:
+                    assert f.empty
+            else:
+                if len(model) < 8:
+                    f.push(op)
+                    model.append(op)
+                else:
+                    assert f.full
+            assert len(f) == len(model)
+
+
+class TestMultiWriteFifo:
+    def test_ready_requires_n_free_slots(self):
+        """Paper §3.1: an nW1R FIFO accepts only when free >= n."""
+        f = MultiWriteFifo(4, write_ports=4)
+        assert f.ready
+        f.push(1)
+        assert not f.ready      # 3 free < 4 ports
+        f.pop()
+        assert f.ready
+
+    def test_push_many_within_ports(self):
+        f = MultiWriteFifo(4, write_ports=2)
+        f.push_many([1, 2])
+        assert len(f) == 2
+
+    def test_push_many_exceeding_ports_rejected(self):
+        f = MultiWriteFifo(8, write_ports=2)
+        with pytest.raises(OverflowError):
+            f.push_many([1, 2, 3])
+
+    def test_push_many_overflow_rejected(self):
+        f = MultiWriteFifo(2, write_ports=2)
+        f.push(1)
+        with pytest.raises(OverflowError):
+            f.push_many([2, 3])
+
+    def test_capacity_below_ports_rejected(self):
+        with pytest.raises(ConfigError):
+            MultiWriteFifo(2, write_ports=4)
+
+    def test_low_utilization_of_large_radix(self):
+        """The §3.1 criticism of the naive solution: with 32 write ports
+        and capacity 32, a single resident datum blocks all writers."""
+        f = MultiWriteFifo(32, write_ports=32)
+        f.push("stuck")
+        assert not f.ready
+        # a radix-2 FIFO with the same occupancy ratio still accepts
+        g = MultiWriteFifo(32, write_ports=2)
+        g.push("stuck")
+        assert g.ready

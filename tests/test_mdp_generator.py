@@ -1,0 +1,142 @@
+"""Tests for the Algorithm 1 generator and netlist emission."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.mdp import (
+    build_netlist,
+    emit_verilog,
+    generate_network,
+    netlist_summary,
+    pair_list,
+    validate_plan,
+)
+
+
+class TestPaperExample:
+    """The toy example of paper Fig. 5(d) / §3.2: four channels, radix 2."""
+
+    def test_two_stages(self):
+        plan = generate_network(4, radix=2)
+        assert plan.num_stages == 2
+
+    def test_stage1_pairs_are_02_and_13(self):
+        plan = generate_network(4, radix=2)
+        assert pair_list(plan, 0) == [[0, 2], [1, 3]]
+
+    def test_stage1_routes_by_addr_bit_1(self):
+        plan = generate_network(4, radix=2)
+        assert plan.stages[0].digit_index == 1
+
+    def test_stage2_pairs_are_01_and_23(self):
+        plan = generate_network(4, radix=2)
+        assert pair_list(plan, 1) == [[0, 1], [2, 3]]
+
+    def test_stage2_routes_by_addr_bit_0(self):
+        plan = generate_network(4, radix=2)
+        assert plan.stages[1].digit_index == 0
+
+    def test_channel_step_matches_paper(self):
+        """§3.2: 'Channel_step is the difference between two input
+        channel IDs connecting to one 2W2R module (channel_step = 2)'."""
+        plan = generate_network(4, radix=2)
+        for m in plan.stages[0].modules:
+            assert m.channels[1] - m.channels[0] == 2
+        for m in plan.stages[1].modules:
+            assert m.channels[1] - m.channels[0] == 1
+
+
+class TestGeneratedStructure:
+    @pytest.mark.parametrize("n,r", [(4, 2), (8, 2), (32, 2), (16, 4), (64, 4),
+                                     (27, 3), (256, 2), (64, 8)])
+    def test_plan_valid(self, n, r):
+        validate_plan(generate_network(n, r))
+
+    @pytest.mark.parametrize("n,r,stages", [(4, 2, 2), (32, 2, 5), (256, 2, 8),
+                                            (16, 4, 2), (64, 4, 3), (27, 3, 3)])
+    def test_stage_count_is_log(self, n, r, stages):
+        assert generate_network(n, r).num_stages == stages
+
+    def test_modules_partition_channels_each_stage(self):
+        plan = generate_network(32, 2)
+        for stage in plan.stages:
+            covered = sorted(c for m in stage.modules for c in m.channels)
+            assert covered == list(range(32))
+
+    def test_every_destination_reachable_from_every_input(self):
+        plan = generate_network(8, 2)
+        # simulate pure-routing walk from each entry position
+        for entry in range(8):
+            for dest in range(8):
+                pos = entry
+                for stage in plan.stages:
+                    module = stage.module_of(pos)
+                    pos = module.channels[plan.digit(dest, stage.digit_index)]
+                assert pos == dest
+
+    def test_digit_extraction(self):
+        plan = generate_network(16, 4)
+        assert plan.digit(7, 0) == 3
+        assert plan.digit(7, 1) == 1
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_network(12, 2)
+
+    def test_radix_1_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_network(4, 1)
+
+    def test_fewer_channels_than_radix_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_network(2, 4)
+
+    @given(log_n=st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_radix2_route_ends_at_destination(self, log_n):
+        plan = generate_network(2 ** log_n, 2)
+        for dest in range(plan.channels):
+            assert plan.route(dest)[-1] == dest
+
+
+class TestNetlist:
+    def test_fifo_instance_count(self):
+        """n * log_r(n) FIFOs: the decentralized cost structure."""
+        net = build_netlist(32, 2)
+        assert net.num_fifos == 32 * 5
+
+    def test_connection_count(self):
+        net = build_netlist(4, 2)
+        # per stage: 2 modules * 2 fifos * 2 writers = 8 connections
+        assert len(net.connections) == 16
+
+    def test_summary_fields(self):
+        s = netlist_summary(build_netlist(16, 2, fifo_depth=8, data_width=38))
+        assert s["channels"] == 16
+        assert s["stages"] == 4
+        assert s["fifo_instances"] == 64
+        assert s["min_latency_cycles"] == 4
+        assert s["buffer_bits"] == 64 * 8 * 38
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ConfigError):
+            build_netlist(4, 2, fifo_depth=0)
+
+    def test_verilog_contains_module_and_fifos(self):
+        text = emit_verilog(build_netlist(4, 2))
+        assert "module mdp_network_n4_r2" in text
+        assert text.count("mdp_fifo #(") >= 8
+        assert "endmodule" in text
+
+    def test_verilog_stage_comments_reflect_wiring(self):
+        text = emit_verilog(build_netlist(4, 2))
+        assert "ports {0, 2}" in text
+        assert "ports {1, 3}" in text
+        assert "ports {0, 1}" in text
+        assert "ports {2, 3}" in text
+
+    def test_verilog_custom_name(self):
+        text = emit_verilog(build_netlist(8, 2), module_name="my_net")
+        assert "module my_net" in text

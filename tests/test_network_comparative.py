@@ -1,0 +1,181 @@
+"""Comparative behaviour of MDP-network vs arbitrated crossbar.
+
+The paper's §3.1 argument, quantified under controlled traffic patterns:
+deterministic multi-stage propagation loses nothing to arbitration,
+absorbs bursts in per-stage buffers, and — with tail-combining — beats
+the one-record-per-cycle hotspot bound that no crossbar can escape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw import ArbitratedCrossbar
+from repro.mdp import MdpNetworkSim
+
+
+def drive(make_dest, n=16, cycles=1200, depth=32, combine=None, seed=0):
+    """Saturate both networks with the same destination sequence."""
+    rng = np.random.default_rng(seed)
+    dests = [make_dest(rng) for _ in range(cycles * n * 2)]
+
+    def run_net(net, offer, tick):
+        it = iter(dests)
+        pending = [None] * n
+        delivered = 0
+        for _ in range(cycles):
+            delivered += tick(net)
+            for ch in range(n):
+                if pending[ch] is None:
+                    pending[ch] = next(it)
+                if offer(net, ch, pending[ch]):
+                    pending[ch] = None
+        return delivered / (cycles * n)
+
+    mdp = MdpNetworkSim(n, 2, fifo_depth=depth, combine_fn=combine)
+    mdp_rate = run_net(
+        mdp,
+        lambda net, ch, d: net.offer(ch, d, (d, 1)),
+        lambda net: len(net.tick([True] * n)),
+    )
+    xbar = ArbitratedCrossbar(n, n, fifo_depth=depth, combine_fn=combine)
+    xbar_rate = run_net(
+        xbar,
+        lambda net, ch, d: net.offer(ch, d, (d, 1)),
+        lambda net: len(net.tick([1] * n)),
+    )
+    return mdp_rate, xbar_rate
+
+
+class TestTrafficPatterns:
+    def test_uniform_random(self):
+        mdp, xbar = drive(lambda rng: int(rng.integers(0, 16)))
+        assert mdp > 0.90          # near line rate
+        assert xbar < 0.80         # arbitration losses
+        assert mdp > xbar + 0.1
+
+    def test_identity_traffic_both_line_rate(self):
+        counter = iter(range(10**9))
+
+        def dest(rng):
+            return next(counter) % 16
+        # identity-ish round robin: no conflicts for either design
+        mdp, xbar = drive(dest)
+        assert mdp > 0.9
+        assert xbar > 0.9
+
+    def test_bit_reversal_is_the_butterfly_worst_case(self):
+        """Honest asymmetry of the design: bit-reversal is the classic
+        adversarial permutation for butterfly topologies — paired inputs
+        always demand the same internal FIFO, so the MDP-network's rate
+        collapses while the crossbar (one requester per output) runs at
+        line rate.  Graph workloads never present this fixed permutation
+        (destinations are data-dependent), which is why the trade wins
+        in practice — but the corner exists and is pinned here."""
+        state = {"i": 0}
+
+        def dest(rng):
+            ch = state["i"] % 16
+            state["i"] += 1
+            return int("{:04b}".format(ch)[::-1], 2)
+        mdp, xbar = drive(dest)
+        assert xbar > 0.85          # crossbar: conflict-free permutation
+        assert mdp < 0.5            # butterfly internal-link conflicts
+
+    def test_hotspot_without_combining_bounded(self):
+        """All traffic to output 0: both designs are capped by the single
+        output port — one record per cycle, rate ~1/n."""
+        mdp, xbar = drive(lambda rng: 0, cycles=600)
+        assert mdp <= 1.05 / 16
+        assert xbar <= 1.05 / 16
+
+    def test_hotspot_with_combining_absorbs_offers(self):
+        """With tail-combining, a pure hotspot is absorbed at near line
+        rate by both interconnects (records merge faster than the output
+        port drains them) — whereas without combining the single output
+        port rejects almost everything.  Delivered edge counts must be
+        conserved either way."""
+        def combine(a, b):
+            if a[0] != b[0]:
+                return None
+            return (a[0], a[1] + b[1])
+
+        def absorb(net, tick):
+            accepted = 0
+            delivered_edges = 0
+            for _ in range(300):
+                for _, payload in tick(net):
+                    delivered_edges += payload[1]
+                for ch in range(16):
+                    if net.offer(ch, 0, (0, 1)):
+                        accepted += 1
+            while not net.drained:
+                for _, payload in tick(net):
+                    delivered_edges += payload[1]
+            return accepted, delivered_edges
+
+        plain, plain_edges = absorb(MdpNetworkSim(16, 2, fifo_depth=32),
+                                    lambda n: n.tick([True] * 16))
+        comb, comb_edges = absorb(
+            MdpNetworkSim(16, 2, fifo_depth=32, combine_fn=combine),
+            lambda n: n.tick([True] * 16))
+        xcomb, xcomb_edges = absorb(
+            ArbitratedCrossbar(16, 16, fifo_depth=32, combine_fn=combine),
+            lambda n: n.tick([1] * 16))
+
+        assert comb > plain * 3            # combining absorbs the hotspot
+        assert xcomb > plain * 3           # for the crossbar too
+        assert comb_edges == comb          # conservation with counts
+        assert xcomb_edges == xcomb
+        assert plain_edges == plain
+
+    def test_adversarial_two_hot_outputs(self):
+        mdp, xbar = drive(lambda rng: int(rng.integers(0, 2)) * 8)
+        # two hot outputs: ideal rate = 2/n = 0.125
+        assert mdp <= 0.14
+        assert mdp >= xbar * 0.95
+
+
+class TestInvariantEnforcement:
+    def test_mdp_detects_misrouted_datum(self):
+        """White-box failure injection: corrupting a final-stage queue
+        must trip the routing invariant, not deliver silently."""
+        net = MdpNetworkSim(4, 2, fifo_depth=4)
+        net.stage_queues[-1][2].append((3, "corrupted"))  # dest 3 at pos 2
+        with pytest.raises(SimulationError):
+            net.deliver([True] * 4)
+
+    def test_mdp_occupancy_accounting(self):
+        net = MdpNetworkSim(8, 2, fifo_depth=8)
+        for ch in range(8):
+            net.offer(ch, ch, ch)
+        assert net.occupancy == 8
+        net.note_occupancy()
+        assert net.occupancy_integral == 8
+
+    def test_combined_counter_increments(self):
+        def combine(a, b):
+            return (a[0], a[1] + b[1]) if a[0] == b[0] else None
+        net = MdpNetworkSim(4, 2, fifo_depth=4, combine_fn=combine)
+        # channels 0 and 2 share a stage-0 module (paper pairing {0, 2}),
+        # so both records land on the same FIFO and the tails merge
+        net.offer(0, 3, (3, 1))
+        net.offer(2, 3, (3, 1))
+        assert net.combined == 1
+        delivered = []
+        while not net.drained:
+            delivered.extend(net.tick([True] * 4))
+        assert delivered == [(3, (3, 2))]
+
+    def test_crossbar_combining_preserves_order_of_other_flows(self):
+        def combine(a, b):
+            return (a[0], a[1] + b[1]) if a[0] == b[0] else None
+        xb = ArbitratedCrossbar(1, 2, fifo_depth=8, combine_fn=combine)
+        xb.offer(0, 0, (0, 1))
+        xb.offer(0, 1, (1, 1))
+        xb.offer(0, 1, (1, 1))   # adjacent to the previous dest-1 record
+        got = []
+        for _ in range(6):
+            got.extend(xb.tick([1, 1]))
+        # tail-combining merges the adjacent same-dest pair, order intact
+        assert got == [(0, (0, 1)), (1, (1, 2))]
