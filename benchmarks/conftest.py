@@ -2,8 +2,16 @@
 
 The Fig. 8 and Fig. 9 benches share one expensive evaluation matrix
 (4 algorithms x 6 datasets x 3 designs); it is computed once per
-session.  Every bench writes its rendered table under
-``benchmarks/results/`` so the numbers survive the pytest run.
+session on the sweep engine.  Two environment variables tune how it
+runs — the numbers are identical either way:
+
+* ``REPRO_JOBS``       worker processes (default 1 = serial, 0 = one
+                       per CPU);
+* ``REPRO_CACHE_DIR``  sweep result cache directory (default: no
+                       cache, always simulate).
+
+Every bench writes its rendered table under ``benchmarks/results/`` so
+the numbers survive the pytest run.
 """
 
 import os
@@ -21,10 +29,24 @@ def results_dir():
     return RESULTS_DIR
 
 
+def _env_jobs() -> int:
+    return int(os.environ.get("REPRO_JOBS", "1"))
+
+
+def _env_cache():
+    return os.environ.get("REPRO_CACHE_DIR") or None
+
+
 @pytest.fixture(scope="session")
-def evaluation_matrix():
+def sweep_options():
+    """(num_workers, cache) honoured by every sweep-backed fixture."""
+    return {"jobs": _env_jobs(), "cache": _env_cache()}
+
+
+@pytest.fixture(scope="session")
+def evaluation_matrix(sweep_options):
     """The Fig. 8/9 matrix: 4 algorithms x 6 datasets x 3 designs."""
-    return run_matrix()
+    return run_matrix(jobs=sweep_options["jobs"], cache=sweep_options["cache"])
 
 
 @pytest.fixture(scope="session")
@@ -33,10 +55,11 @@ def r14_graph():
 
 
 @pytest.fixture(scope="session")
-def fig10_data(r14_graph):
+def fig10_data(r14_graph, sweep_options):
     """Fig. 10(a)/(b) share one ablation sweep (16 simulations)."""
     from repro.bench import fig10_rows
-    return fig10_rows(graph=r14_graph)
+    return fig10_rows(graph=r14_graph, num_workers=sweep_options["jobs"],
+                      cache=sweep_options["cache"])
 
 
 @pytest.fixture(scope="session")

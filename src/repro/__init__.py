@@ -16,8 +16,11 @@ Layers, bottom-up:
   access.
 * :mod:`repro.accel` — cycle-level simulators of HiGraph, HiGraph-mini
   and the GraphDynS baseline (Table 1 presets, Opt-O/E/D ablations).
+* :mod:`repro.sweep` — sweep execution engine: plans {algorithm x
+  dataset x config x axis} matrices into independent jobs, shards them
+  across worker processes and caches results on disk (docs/sweep.md).
 * :mod:`repro.bench` — the experiment harness regenerating every figure
-  and table of the paper's evaluation.
+  and table of the paper's evaluation, built on the sweep engine.
 """
 
 __version__ = "1.0.0"
@@ -25,10 +28,12 @@ __version__ = "1.0.0"
 from repro.errors import (
     CapacityError,
     ConfigError,
+    FifoOverflowError,
     GenerationError,
     GraphFormatError,
     ReproError,
     SimulationError,
+    SweepError,
 )
 
 __all__ = [
@@ -39,4 +44,6 @@ __all__ = [
     "ConfigError",
     "CapacityError",
     "SimulationError",
+    "FifoOverflowError",
+    "SweepError",
 ]

@@ -23,8 +23,10 @@ ablation (Opt-O / Opt-E / Opt-D) falls out of the same machinery:
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 from repro.errors import ConfigError
 from repro.hw.timing import design_frequency_ghz
@@ -85,6 +87,9 @@ class AcceleratorConfig:
             raise ConfigError("radix must be >= 2")
         if self.fifo_depth < self.radix:
             raise ConfigError("fifo_depth must be >= radix")
+        if self.dispatcher_group < 1:
+            raise ConfigError(
+                f"dispatcher_group must be >= 1, got {self.dispatcher_group}")
         if self.back_channels % self.dispatcher_group:
             raise ConfigError(
                 f"back_channels {self.back_channels} not divisible by "
@@ -93,6 +98,14 @@ class AcceleratorConfig:
                      "epe_queue_depth", "replay_queue_depth"):
             if getattr(self, attr) < 1:
                 raise ConfigError(f"{attr} must be >= 1")
+        if self.central_issue_limit is not None and self.central_issue_limit < 1:
+            raise ConfigError(
+                f"central_issue_limit must be >= 1 or None, "
+                f"got {self.central_issue_limit}")
+        if self.onchip_memory_bytes < 1:
+            raise ConfigError("onchip_memory_bytes must be >= 1")
+        if not math.isfinite(self.target_frequency_ghz) or self.target_frequency_ghz <= 0:
+            raise ConfigError("target_frequency_ghz must be positive and finite")
         if self.offset_site == "mdp":
             _require_power(self.front_channels, self.radix, "front_channels")
         if self.propagation_site == "mdp":
@@ -139,6 +152,22 @@ class AcceleratorConfig:
     def with_(self, **kwargs) -> "AcceleratorConfig":
         """Functional update (convenience wrapper over dataclasses.replace)."""
         return replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """All fields as a plain JSON-serializable dict, in field order."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def config_hash(self) -> str:
+        """Stable content hash of the full configuration.
+
+        Every field participates — including ``name``, because cached
+        :class:`~repro.accel.stats.SimStats` carry ``config_name`` and a
+        rename must not resurface stats under the old label.  The hash is
+        stable across processes and Python versions (canonical JSON, not
+        ``hash()``, which is salted per interpreter run).
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def _require_power(value: int, base: int, what: str) -> None:

@@ -17,6 +17,8 @@ is charged to the run.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.accel.accelerator import APPLY_PIPELINE_LATENCY, AcceleratorSim, SimResult
@@ -27,13 +29,26 @@ from repro.accel.config import (
 )
 from repro.accel.stats import SimStats
 from repro.algorithms.base import Algorithm
-from repro.errors import SimulationError
+from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import GraphSlice, partition_for_budget
 
 
 def slice_load_cycles(num_edges: int, offchip_bytes_per_cycle: float) -> int:
-    """Cycles to stream one slice's edge data from off-chip memory."""
+    """Cycles to stream one slice's edge data from off-chip memory.
+
+    A zero-edge slice costs nothing; a negative edge count or a
+    non-positive / non-finite bandwidth is a configuration error, not a
+    cycle count of 0 or ``inf``.
+    """
+    if num_edges < 0:
+        raise ConfigError(f"num_edges must be >= 0, got {num_edges}")
+    if not math.isfinite(offchip_bytes_per_cycle) or offchip_bytes_per_cycle <= 0:
+        raise ConfigError(
+            f"offchip_bytes_per_cycle must be a positive finite number, "
+            f"got {offchip_bytes_per_cycle}")
+    if num_edges == 0:
+        return 0
     bits_per_edge = DESIGN_ID_BITS + DESIGN_WEIGHT_BITS
     bytes_needed = num_edges * bits_per_edge / 8
     return int(np.ceil(bytes_needed / offchip_bytes_per_cycle))
@@ -46,8 +61,8 @@ class SlicedAcceleratorSim:
                  algorithm: Algorithm,
                  slices: list[GraphSlice] | None = None,
                  offchip_bytes_per_cycle: float = 64.0) -> None:
-        if offchip_bytes_per_cycle <= 0:
-            raise SimulationError("offchip_bytes_per_cycle must be positive")
+        if not math.isfinite(offchip_bytes_per_cycle) or offchip_bytes_per_cycle <= 0:
+            raise ConfigError("offchip_bytes_per_cycle must be positive and finite")
         self.config = config
         self.graph = graph
         self.algorithm = algorithm

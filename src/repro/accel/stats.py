@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -69,6 +69,21 @@ class SimStats:
         if self.seconds == 0:
             return float("inf")
         return baseline.seconds / self.seconds
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """All counter fields as a JSON-serializable dict (cache format)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimStats":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected loudly so
+        a stale cache entry from an older schema cannot half-load."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SimStats fields: {sorted(unknown)}")
+        return cls(**data)
 
     # ------------------------------------------------------------------
     def summary(self) -> dict:

@@ -3,13 +3,20 @@
 Each function regenerates the data series behind one figure and returns
 plain row dicts; ``benchmarks/`` prints them as tables and asserts the
 paper's qualitative claims.
+
+All figure sweeps run on the sweep engine (:mod:`repro.sweep`): the
+row functions only *plan* their job matrix, so every one of them accepts
+``num_workers`` (process count; 1 = serial) and ``cache`` (a
+:class:`repro.sweep.ResultCache` or directory path) and produces
+identical rows regardless of either knob.
 """
 
 from __future__ import annotations
 
-from repro.accel import ablation, graphdyns, higraph, simulate
-from repro.bench.harness import load_bench_graph, make_bench_algorithm
+from repro.accel import ablation, graphdyns, higraph
+from repro.bench.harness import bench_algorithm_entry, bench_graph_spec
 from repro.graph.csr import CSRGraph
+from repro.sweep import plan_jobs, run_sweep
 
 #: Ablation order of paper Fig. 10 (cumulative optimizations).
 FIG10_STEPS = (
@@ -33,91 +40,112 @@ SEC54_RADICES = (2, 4, 8)
 SEC54_CHANNELS = 64
 
 
+def _figure_graph(dataset: str, graph: CSRGraph | None):
+    """Inline graph if the caller provided one, else a symbolic bench spec."""
+    return graph if graph is not None else bench_graph_spec(dataset)
+
+
 def fig10_rows(dataset: str = "R14", algorithms=("BFS", "SSSP", "SSWP", "PR"),
-               graph: CSRGraph | None = None) -> list[dict]:
+               graph: CSRGraph | None = None,
+               num_workers: int | None = 1, cache=None) -> list[dict]:
     """Fig. 10(a) + (b): cumulative-optimization throughput & starvation."""
-    graph = graph if graph is not None else load_bench_graph(dataset)
-    rows = []
-    for alg_name in algorithms:
-        for label, opts in FIG10_STEPS:
-            cfg = ablation(**opts)
-            stats = simulate(cfg, graph, make_bench_algorithm(alg_name)).stats
-            rows.append({
-                "algorithm": alg_name,
-                "step": label,
-                "gteps": stats.gteps,
-                "starvation_cycles": stats.vpe_starvation_cycles,
-                "cycles": stats.total_cycles,
-            })
-    return rows
+    jobs = plan_jobs(
+        [bench_algorithm_entry(a) for a in algorithms],
+        [_figure_graph(dataset, graph)],
+        {label: ablation(**opts) for label, opts in FIG10_STEPS},
+    )
+    outcome = run_sweep(jobs, num_workers=num_workers, cache=cache)
+    return [{
+        "algorithm": job.tags["algorithm"],
+        "step": job.tags["config"],
+        "gteps": stats.gteps,
+        "starvation_cycles": stats.vpe_starvation_cycles,
+        "cycles": stats.total_cycles,
+    } for job, stats in zip(outcome.jobs, outcome.stats)]
 
 
-def fig11_rows(dataset: str = "R14", graph: CSRGraph | None = None) -> list[dict]:
+def fig11_rows(dataset: str = "R14", graph: CSRGraph | None = None,
+               num_workers: int | None = 1, cache=None) -> list[dict]:
     """Fig. 11: throughput versus number of back-end channels (PR/R14)."""
-    graph = graph if graph is not None else load_bench_graph(dataset)
-    rows = []
-    for channels in FIG11_GRAPHDYNS_CHANNELS:
-        cfg = graphdyns(back_channels=channels)
-        stats = simulate(cfg, graph, make_bench_algorithm("PR")).stats
-        rows.append({"design": "GraphDynS", "back_channels": channels,
-                     "frequency_ghz": stats.frequency_ghz, "gteps": stats.gteps})
-    for channels in FIG11_HIGRAPH_CHANNELS:
-        cfg = higraph(back_channels=channels)
-        stats = simulate(cfg, graph, make_bench_algorithm("PR")).stats
-        rows.append({"design": "HiGraph", "back_channels": channels,
-                     "frequency_ghz": stats.frequency_ghz, "gteps": stats.gteps})
-    return rows
+    target = _figure_graph(dataset, graph)
+    pr = bench_algorithm_entry("PR")
+    jobs = plan_jobs([pr], [target], {"GraphDynS": graphdyns()},
+                     sweep_axes={"back_channels": FIG11_GRAPHDYNS_CHANNELS})
+    jobs += plan_jobs([pr], [target], {"HiGraph": higraph()},
+                      sweep_axes={"back_channels": FIG11_HIGRAPH_CHANNELS})
+    outcome = run_sweep(jobs, num_workers=num_workers, cache=cache)
+    return [{
+        "design": job.tags["config"],
+        "back_channels": job.tags["back_channels"],
+        "frequency_ghz": stats.frequency_ghz,
+        "gteps": stats.gteps,
+    } for job, stats in zip(outcome.jobs, outcome.stats)]
 
 
 def fig12_rows(dataset: str = "R14", buffer_sizes=FIG12_BUFFER_SIZES,
-               graph: CSRGraph | None = None) -> list[dict]:
+               graph: CSRGraph | None = None,
+               num_workers: int | None = 1, cache=None) -> list[dict]:
     """Fig. 12: throughput versus per-channel FIFO buffer size.
 
     "We keep all designs in HiGraph the same except for the dataflow
     propagation stage, in which we replace MDP-network with
     FIFO-plus-crossbar design."
     """
-    graph = graph if graph is not None else load_bench_graph(dataset)
-    rows = []
+    target = _figure_graph(dataset, graph)
+    pr = bench_algorithm_entry("PR")
+    # buffer size outermost (the paper's x-axis order), so one planner
+    # call per size rather than one sweep_axes expansion
+    jobs = []
     for entries in buffer_sizes:
-        for prop_site, label in (("mdp", "MDP-network"),
-                                 ("crossbar", "FIFO+crossbar")):
-            cfg = higraph(propagation_site=prop_site, fifo_depth=entries)
-            stats = simulate(cfg, graph, make_bench_algorithm("PR")).stats
-            rows.append({"design": label, "buffer_entries": entries,
-                         "gteps": stats.gteps})
-    return rows
+        jobs += plan_jobs([pr], [target], {
+            "MDP-network": higraph(propagation_site="mdp", fifo_depth=entries),
+            "FIFO+crossbar": higraph(propagation_site="crossbar",
+                                     fifo_depth=entries),
+        })
+    outcome = run_sweep(jobs, num_workers=num_workers, cache=cache)
+    return [{
+        "design": job.tags["config"],
+        "buffer_entries": job.config.fifo_depth,
+        "gteps": stats.gteps,
+    } for job, stats in zip(outcome.jobs, outcome.stats)]
 
 
-def sec54_radix_rows(dataset: str = "R14",
-                     graph: CSRGraph | None = None) -> list[dict]:
+def sec54_radix_rows(dataset: str = "R14", graph: CSRGraph | None = None,
+                     num_workers: int | None = 1, cache=None) -> list[dict]:
     """§5.4 radix study: 'a too large radix still encounters design
     centralization, which degrades the performance'."""
-    graph = graph if graph is not None else load_bench_graph(dataset)
-    rows = []
-    for radix in SEC54_RADICES:
-        cfg = higraph(back_channels=SEC54_CHANNELS, front_channels=SEC54_CHANNELS,
-                      radix=radix)
-        stats = simulate(cfg, graph, make_bench_algorithm("PR")).stats
-        rows.append({
-            "radix": radix,
-            "frequency_ghz": stats.frequency_ghz,
-            "gteps": stats.gteps,
-            "cycles": stats.total_cycles,
-        })
-    return rows
+    jobs = plan_jobs(
+        [bench_algorithm_entry("PR")],
+        [_figure_graph(dataset, graph)],
+        {"HiGraph": higraph(back_channels=SEC54_CHANNELS,
+                            front_channels=SEC54_CHANNELS)},
+        sweep_axes={"radix": SEC54_RADICES},
+    )
+    outcome = run_sweep(jobs, num_workers=num_workers, cache=cache)
+    return [{
+        "radix": job.tags["radix"],
+        "frequency_ghz": stats.frequency_ghz,
+        "gteps": stats.gteps,
+        "cycles": stats.total_cycles,
+    } for job, stats in zip(outcome.jobs, outcome.stats)]
 
 
 def combining_ablation_rows(dataset: str = "R14",
-                            graph: CSRGraph | None = None) -> list[dict]:
+                            graph: CSRGraph | None = None,
+                            num_workers: int | None = 1, cache=None) -> list[dict]:
     """Extension ablation: vertex coalescing on/off at the propagation
     site for both interconnects (design-choice study from DESIGN.md)."""
-    graph = graph if graph is not None else load_bench_graph(dataset)
-    rows = []
+    target = _figure_graph(dataset, graph)
+    pr = bench_algorithm_entry("PR")
+    jobs = []
     for combining in (True, False):
-        for maker, label in ((higraph, "HiGraph"), (graphdyns, "GraphDynS")):
-            cfg = maker(vertex_combining=combining)
-            stats = simulate(cfg, graph, make_bench_algorithm("PR")).stats
-            rows.append({"design": label, "combining": combining,
-                         "gteps": stats.gteps})
-    return rows
+        jobs += plan_jobs([pr], [target], {
+            "HiGraph": higraph(vertex_combining=combining),
+            "GraphDynS": graphdyns(vertex_combining=combining),
+        })
+    outcome = run_sweep(jobs, num_workers=num_workers, cache=cache)
+    return [{
+        "design": job.tags["config"],
+        "combining": job.config.vertex_combining,
+        "gteps": stats.gteps,
+    } for job, stats in zip(outcome.jobs, outcome.stats)]

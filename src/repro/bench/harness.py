@@ -14,10 +14,11 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-from repro.accel import AcceleratorConfig, SimStats, graphdyns, higraph, higraph_mini, simulate
+from repro.accel import AcceleratorConfig, SimStats, graphdyns, higraph, higraph_mini
 from repro.algorithms import PAPER_ALGORITHMS, make_algorithm
 from repro.graph import DATASET_ORDER, load
 from repro.graph.datasets import SCALE_ENV_VAR
+from repro.sweep import GraphSpec, plan_jobs, run_sweep
 
 #: Default per-dataset scales: each stand-in lands at ~60k-130k edges so
 #: the whole figure suite completes in minutes on one core.
@@ -44,8 +45,20 @@ def bench_scale(key: str) -> float:
     return DEFAULT_BENCH_SCALES[key]
 
 
+def bench_graph_spec(key: str) -> GraphSpec:
+    """Symbolic sweep-job reference to one bench-scaled dataset."""
+    return GraphSpec(key, scale=bench_scale(key))
+
+
 def load_bench_graph(key: str):
-    return load(key, scale=bench_scale(key))
+    return bench_graph_spec(key).load()
+
+
+def bench_algorithm_entry(name: str):
+    """Sweep-planner algorithm entry matching :func:`make_bench_algorithm`."""
+    if name == "PR":
+        return ("PR", {"iterations": BENCH_PR_ITERATIONS})
+    return name
 
 
 def make_bench_algorithm(name: str):
@@ -102,17 +115,27 @@ class MatrixResult:
 
 
 def run_matrix(algorithms=PAPER_ALGORITHMS, datasets=DATASET_ORDER,
-               configs=None, source: int = 0) -> MatrixResult:
-    """Run the full evaluation matrix (the engine behind Fig. 8 and 9)."""
+               configs=None, source: int = 0, jobs: int | None = 1,
+               cache=None) -> MatrixResult:
+    """Run the full evaluation matrix (the engine behind Fig. 8 and 9).
+
+    Built on the sweep engine: ``jobs`` shards the matrix across worker
+    processes (1 = serial, ``None``/0 = one per CPU) and ``cache`` — a
+    :class:`repro.sweep.ResultCache` or directory path — memoizes every
+    cell on disk.  Results are identical regardless of either knob.
+    """
     configs = configs or paper_configs()
+    plan = plan_jobs(
+        [bench_algorithm_entry(a) for a in algorithms],
+        [bench_graph_spec(ds) for ds in datasets],
+        configs,
+        source=source,
+    )
+    outcome = run_sweep(plan, num_workers=jobs, cache=cache)
     stats: dict[tuple[str, str, str], SimStats] = {}
-    for ds in datasets:
-        graph = load_bench_graph(ds)
-        for alg_name in algorithms:
-            for cfg_name, cfg in configs.items():
-                result = simulate(cfg, graph, make_bench_algorithm(alg_name),
-                                  source=source)
-                stats[(alg_name, ds, cfg_name)] = result.stats
+    for job, result in zip(outcome.jobs, outcome.stats):
+        tags = job.tags
+        stats[(tags["algorithm"], tags["graph"], tags["config"])] = result
     return MatrixResult(stats)
 
 

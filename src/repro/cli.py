@@ -3,6 +3,8 @@
 Commands
 --------
 ``simulate``   run one algorithm/dataset on one design (or all three)
+``sweep``      run a {algorithm x dataset x config} matrix, sharded
+               across worker processes with on-disk result caching
 ``netlist``    generate an MDP-network and emit structural Verilog
 ``datasets``   print the Table 2 registry and generated stand-in sizes
 ``figure``     regenerate one of the paper's figure data series
@@ -17,6 +19,7 @@ import sys
 from repro.accel import graphdyns, higraph, higraph_mini, simulate
 from repro.algorithms import make_algorithm
 from repro.bench import format_table
+from repro.errors import ReproError
 from repro.graph import DATASET_ORDER, TABLE2, load
 
 _CONFIG_MAKERS = {
@@ -42,6 +45,29 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=sorted(_CONFIG_MAKERS) + ["all"])
     sim.add_argument("--source", type=int, default=0)
     sim.add_argument("--pr-iterations", type=int, default=2)
+
+    swp = sub.add_parser(
+        "sweep", help="run a simulation matrix in parallel with caching")
+    swp.add_argument("--algorithms", default="BFS,SSSP,SSWP,PR",
+                     help="comma-separated list (default: the paper's four)")
+    swp.add_argument("--datasets", default="R14",
+                     help=f"comma-separated keys from {sorted(TABLE2)}")
+    swp.add_argument("--configs", default="all",
+                     help="comma-separated subset of "
+                          f"{sorted(_CONFIG_MAKERS)} (default: all)")
+    swp.add_argument("--scale", type=float, default=None,
+                     help="dataset scale in (0, 1] (default: bench scales)")
+    swp.add_argument("--axis", action="append", default=[], metavar="FIELD=V1,V2",
+                     help="sweep an AcceleratorConfig field over values, "
+                          "e.g. --axis fifo_depth=40,160,320 (repeatable)")
+    swp.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (0 = one per CPU, default 1)")
+    swp.add_argument("--cache-dir", default=None,
+                     help="result cache directory (created if missing)")
+    swp.add_argument("--no-cache", action="store_true",
+                     help="ignore and bypass the result cache")
+    swp.add_argument("--source", type=int, default=0)
+    swp.add_argument("--pr-iterations", type=int, default=2)
 
     net = sub.add_parser("netlist", help="generate an MDP-network")
     net.add_argument("--channels", type=int, default=16)
@@ -69,6 +95,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "simulate": _cmd_simulate,
+        "sweep": _cmd_sweep,
         "netlist": _cmd_netlist,
         "datasets": _cmd_datasets,
         "figure": _cmd_figure,
@@ -95,6 +122,88 @@ def _cmd_simulate(args) -> int:
     print(format_table(rows, columns=["config", "iterations", "cycles",
                                       "edges", "gteps", "edges_per_cycle",
                                       "vpe_starvation_cycles"]))
+    return 0
+
+
+def _parse_axis_value(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _cmd_sweep(args) -> int:
+    from repro.bench import bench_graph_spec
+    from repro.sweep import GraphSpec, plan_jobs, run_sweep
+
+    algorithms = []
+    for name in args.algorithms.split(","):
+        name = name.strip().upper()
+        if name in ("PR", "PAGERANK"):
+            algorithms.append(("PR", {"iterations": args.pr_iterations}))
+        else:
+            algorithms.append(name)
+
+    graphs = []
+    for key in args.datasets.split(","):
+        key = key.strip().upper()
+        if key not in TABLE2:
+            print(f"unknown dataset {key!r}; known: {sorted(TABLE2)}",
+                  file=sys.stderr)
+            return 2
+        graphs.append(GraphSpec(key, scale=args.scale) if args.scale
+                      else bench_graph_spec(key))
+
+    names = sorted(_CONFIG_MAKERS) if args.configs == "all" else [
+        c.strip() for c in args.configs.split(",")]
+    configs = {}
+    for name in names:
+        if name not in _CONFIG_MAKERS:
+            print(f"unknown config {name!r}; known: {sorted(_CONFIG_MAKERS)}",
+                  file=sys.stderr)
+            return 2
+        cfg = _CONFIG_MAKERS[name]()
+        configs[cfg.name] = cfg
+
+    sweep_axes = {}
+    for spec in args.axis:
+        field, _, values = spec.partition("=")
+        if not values:
+            print(f"--axis expects FIELD=V1,V2,..., got {spec!r}", file=sys.stderr)
+            return 2
+        sweep_axes[field.strip()] = [
+            _parse_axis_value(v.strip()) for v in values.split(",")]
+
+    cache = None if args.no_cache else args.cache_dir
+    try:
+        jobs = plan_jobs(algorithms, graphs, configs,
+                         sweep_axes=sweep_axes or None, source=args.source)
+        outcome = run_sweep(jobs, num_workers=args.jobs, cache=cache)
+    except (ReproError, ValueError) as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+
+    rows = []
+    for job, stats in zip(outcome.jobs, outcome.stats):
+        row = {"algorithm": job.tags["algorithm"], "dataset": job.tags["graph"],
+               "config": job.tags["config"]}
+        for axis in sweep_axes:
+            row[axis] = job.tags[axis]
+        row.update(iterations=stats.iterations, cycles=stats.total_cycles,
+                   edges=stats.edges_processed,
+                   frequency_ghz=round(stats.frequency_ghz, 3),
+                   gteps=round(stats.gteps, 3))
+        rows.append(row)
+    print(format_table(rows, title=f"sweep: {len(jobs)} jobs"))
+    hit_pct = 100.0 * outcome.hit_rate
+    print(f"jobs: {len(jobs)}  executed: {outcome.executed}  "
+          f"cache hits: {outcome.cache_hits} ({hit_pct:.0f}%)  "
+          f"workers: {outcome.workers_used}  "
+          f"wall: {outcome.wall_seconds:.2f}s")
     return 0
 
 

@@ -30,3 +30,15 @@ class CapacityError(ReproError):
 
 class SimulationError(ReproError):
     """The cycle simulator reached an inconsistent state (internal invariant broken)."""
+
+
+class FifoOverflowError(SimulationError, OverflowError):
+    """A writer pushed into a full FIFO (backpressure was ignored).
+
+    Subclasses :class:`OverflowError` so callers that predate the
+    :class:`ReproError` taxonomy keep working unchanged.
+    """
+
+
+class SweepError(ReproError):
+    """A sweep plan or execution request is malformed (unknown axis, bad job count...)."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, FifoOverflowError
 
 
 class Fifo:
@@ -51,7 +51,7 @@ class Fifo:
 
     def push(self, item) -> None:
         if self.full:
-            raise OverflowError("push to full FIFO (writer ignored backpressure)")
+            raise FifoOverflowError("push to full FIFO (writer ignored backpressure)")
         self._items.append(item)
         self.total_pushes += 1
         if len(self._items) > self.peak_occupancy:
@@ -108,9 +108,9 @@ class MultiWriteFifo(Fifo):
     def push_many(self, items) -> None:
         items = list(items)
         if len(items) > self.write_ports:
-            raise OverflowError(
+            raise FifoOverflowError(
                 f"{len(items)} pushes exceed {self.write_ports} write ports")
         if len(items) > self.free:
-            raise OverflowError("multi-write overflow (writers ignored ready)")
+            raise FifoOverflowError("multi-write overflow (writers ignored ready)")
         for item in items:
             self.push(item)

@@ -1,0 +1,31 @@
+"""Sweep execution subsystem: plan, shard and cache simulation matrices.
+
+The paper's figures are matrices of independent cycle simulations;
+this package turns a matrix description into :class:`SweepJob` lists
+(:mod:`repro.sweep.jobs`), runs them across worker processes with
+deterministic result ordering (:mod:`repro.sweep.executor`) and
+memoizes results on disk keyed by content, not by name
+(:mod:`repro.sweep.cache`).  See ``docs/sweep.md``.
+"""
+
+from repro.sweep.cache import ResultCache, code_version
+from repro.sweep.executor import (
+    SweepOutcome,
+    execute_job,
+    resolve_workers,
+    run_sweep,
+)
+from repro.sweep.jobs import GraphSpec, SweepJob, graph_fingerprint, plan_jobs
+
+__all__ = [
+    "GraphSpec",
+    "SweepJob",
+    "plan_jobs",
+    "graph_fingerprint",
+    "ResultCache",
+    "code_version",
+    "SweepOutcome",
+    "run_sweep",
+    "execute_job",
+    "resolve_workers",
+]

@@ -1,0 +1,130 @@
+"""Content-addressed on-disk result cache for sweep jobs.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` where ``key`` is the job's
+sha256 cache key (see :meth:`repro.sweep.jobs.SweepJob.cache_key`).
+Each entry stores the full :class:`~repro.accel.stats.SimStats` counter
+set plus a human-readable provenance block, so a cache directory can be
+audited with nothing but ``cat``.
+
+The key folds in a **code version**: a digest over the source text of
+every simulation-relevant subpackage (``accel``, ``hw``, ``mdp``,
+``algorithms``, ``graph`` and the error taxonomy).  Editing the
+simulator therefore invalidates stale results automatically; editing
+orchestration layers (``bench``, ``sweep``, ``cli``) does not, because
+they cannot change what a job computes.
+
+Writes are atomic (temp file + ``os.replace``) so parallel executors and
+concurrent sweep invocations can share one cache directory safely:
+the worst case under a write/write race is one redundant simulation,
+never a torn entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.accel.stats import SimStats
+
+#: Source subpackages whose text participates in the code version.
+#: Orchestration layers (bench, sweep, cli) are deliberately excluded.
+CODE_VERSION_SUBPACKAGES = ("accel", "hw", "mdp", "algorithms", "graph")
+CODE_VERSION_MODULES = ("errors.py",)
+
+_code_version_memo: str | None = None
+
+
+def code_version() -> str:
+    """Digest of the simulation-relevant source tree (memoized)."""
+    global _code_version_memo
+    if _code_version_memo is None:
+        root = Path(repro.__file__).parent
+        h = hashlib.sha256()
+        paths: list[Path] = [root / name for name in CODE_VERSION_MODULES]
+        for sub in CODE_VERSION_SUBPACKAGES:
+            paths.extend(sorted((root / sub).glob("*.py")))
+        for path in paths:
+            h.update(str(path.relative_to(root)).encode("utf-8"))
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _code_version_memo = h.hexdigest()
+    return _code_version_memo
+
+
+class ResultCache:
+    """On-disk SimStats store addressed by job cache key."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> SimStats | None:
+        """Look up one entry; any unreadable/stale-schema entry is a miss."""
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+            stats = SimStats.from_dict(payload["stats"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # corrupt or schema-incompatible entry: drop and recompute
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, key: str, stats: SimStats, provenance: dict | None = None) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "provenance": provenance or {},
+            "stats": stats.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ResultCache(root={str(self.root)!r}, "
+                f"hits={self.hits}, misses={self.misses})")

@@ -1,0 +1,199 @@
+"""Sweep execution: shard independent simulation jobs across processes.
+
+The executor is deliberately boring: cycle simulation is deterministic,
+so parallel execution only changes *when* a result is computed, never
+*what* it is.  Results are re-ordered by job index before returning, so
+``run_sweep(jobs, num_workers=8)`` is byte-for-byte identical to the
+serial path — the property the benchmark suite asserts.
+
+Cache protocol (when a :class:`~repro.sweep.cache.ResultCache` is
+given):
+
+1. every job's cache key is computed up front (one code-version digest,
+   one config hash and one graph fingerprint per job);
+2. hits are filled in immediately; identical keys inside one sweep are
+   deduplicated so the simulation runs once;
+3. only misses are dispatched to workers, serially when
+   ``num_workers == 1`` or when no usable multiprocessing context
+   exists, otherwise via a process pool;
+4. fresh results are written back with provenance before returning.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.accel.accelerator import AcceleratorSim
+from repro.accel.stats import SimStats
+from repro.errors import SweepError
+from repro.sweep.cache import ResultCache, code_version
+from repro.sweep.jobs import GraphSpec, SweepJob, graph_fingerprint
+
+#: Per-worker-process graph memo: loading a Table 2 stand-in is R-MAT
+#: generation, which costs real time; each worker resolves a GraphSpec
+#: once and reuses it for every job that names the same spec.
+_GRAPH_MEMO: dict[str, object] = {}
+
+
+def execute_job(job: SweepJob) -> SimStats:
+    """Run one job to completion in the current process."""
+    fp = graph_fingerprint(job.graph)
+    graph = _GRAPH_MEMO.get(fp)
+    if graph is None:
+        graph = job.resolve_graph()
+        if isinstance(job.graph, GraphSpec):
+            _GRAPH_MEMO[fp] = graph
+    sim = AcceleratorSim(job.config, graph, job.make_algorithm())
+    return sim.run(source=job.source, max_iterations=job.max_iterations).stats
+
+
+def _execute_indexed(payload: tuple[int, SweepJob]) -> tuple[int, SimStats]:
+    index, job = payload
+    return index, execute_job(job)
+
+
+def resolve_workers(num_workers: int | None) -> int:
+    """Normalize a ``--jobs`` request: None/0 means one per CPU."""
+    if num_workers is None or num_workers == 0:
+        return os.cpu_count() or 1
+    if num_workers < 0:
+        raise SweepError(f"num_workers must be >= 0 or None, got {num_workers}")
+    return num_workers
+
+
+@dataclass
+class SweepOutcome:
+    """Results of one sweep, in job order, plus execution accounting."""
+
+    jobs: list[SweepJob]
+    stats: list[SimStats]
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed: int = 0
+    workers_used: int = 1
+    wall_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def rows(self, metrics: tuple[str, ...] = ("gteps", "total_cycles")) -> list[dict]:
+        """Tag dict + selected stat attributes per job, in job order."""
+        out = []
+        for job, stats in zip(self.jobs, self.stats):
+            row = dict(job.tags)
+            for metric in metrics:
+                row[metric] = getattr(stats, metric)
+            out.append(row)
+        return out
+
+
+def run_sweep(
+    jobs: list[SweepJob],
+    num_workers: int | None = 1,
+    cache: ResultCache | str | os.PathLike | None = None,
+    progress=None,
+) -> SweepOutcome:
+    """Execute a job list and return its stats in job order.
+
+    ``num_workers``: 1 runs in-process (serial), ``None``/0 uses one
+    worker per CPU, N > 1 shards across N processes.  ``cache`` may be a
+    :class:`ResultCache` or a directory path; omit it to always
+    simulate.  ``progress``, if given, is called as
+    ``progress(done, total, job)`` after every completed job.
+    """
+    start = time.monotonic()
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+    workers = resolve_workers(num_workers)
+
+    results: list[SimStats | None] = [None] * len(jobs)
+    hits = 0
+    pending: list[tuple[int, SweepJob]] = []
+    keys: list[str | None] = [None] * len(jobs)
+    if cache is not None:
+        version = code_version()
+        key_owner: dict[str, int] = {}   # first pending job per duplicate key
+        for i, job in enumerate(jobs):
+            key = job.cache_key(version)
+            keys[i] = key
+            if key in key_owner:
+                continue                 # resolved when the owner finishes
+            stats = cache.get(key)
+            if stats is not None:
+                results[i] = stats
+                hits += 1
+            else:
+                key_owner[key] = i
+                pending.append((i, job))
+    else:
+        pending = list(enumerate(jobs))
+
+    done = len(jobs) - len(pending)
+    executed = 0
+    workers_used = 1 if len(pending) <= 1 else workers
+
+    def _complete(index: int, stats: SimStats) -> None:
+        nonlocal done, executed
+        results[index] = stats
+        executed += 1
+        done += 1
+        if cache is not None:
+            job = jobs[index]
+            cache.put(keys[index], stats, provenance={
+                "job": job.describe(),
+                "tags": {k: repr(v) for k, v in job.tags.items()},
+                "config": job.config.to_dict(),
+            })
+        if progress is not None:
+            progress(done, len(jobs), jobs[index])
+
+    pool = None
+    if workers_used > 1:
+        workers_used = min(workers_used, len(pending))
+        try:
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn")
+            pool = ctx.Pool(processes=workers_used)
+        except (OSError, ImportError):   # no /dev/shm, fork denied ...
+            workers_used = 1
+    # only pool *creation* falls back to serial; errors raised while
+    # consuming results (job failures, cache writes, progress callbacks)
+    # propagate instead of silently re-running everything in-process
+    if pool is not None:
+        with pool:
+            for index, stats in pool.imap_unordered(
+                    _execute_indexed, pending, chunksize=1):
+                _complete(index, stats)
+    else:
+        for index, job in pending:
+            _complete(index, execute_job(job))
+
+    # fill duplicate-key jobs from their owner's result
+    if cache is not None:
+        by_key = {keys[i]: results[i] for i in range(len(jobs))
+                  if results[i] is not None}
+        for i in range(len(jobs)):
+            if results[i] is None:
+                results[i] = by_key[keys[i]]
+                hits += 1
+
+    missing = [i for i, r in enumerate(results) if r is None]
+    if missing:
+        raise SweepError(f"jobs {missing} produced no result (executor bug)")
+
+    return SweepOutcome(
+        jobs=jobs,
+        stats=results,                     # type: ignore[arg-type]
+        cache_hits=hits,
+        cache_misses=len(jobs) - hits,
+        executed=executed,
+        workers_used=workers_used,
+        wall_seconds=time.monotonic() - start,
+    )

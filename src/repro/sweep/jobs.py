@@ -1,0 +1,200 @@
+"""Sweep job planning: expand {algorithms x graphs x configs x axes}.
+
+A :class:`SweepJob` is one independent cycle simulation — everything a
+worker process needs to produce one :class:`~repro.accel.stats.SimStats`
+row, plus free-form ``tags`` so the caller can reassemble results into
+figure tables without re-deriving which job was which.
+
+Jobs reference their graph either **symbolically** (a :class:`GraphSpec`
+naming a Table 2 dataset + scale, loaded lazily inside the worker and
+memoized per process) or **inline** (a concrete
+:class:`~repro.graph.csr.CSRGraph`, pickled to the worker).  Both forms
+yield a stable fingerprint for the result cache: specs hash their
+generator parameters (generator code is covered by the cache's code
+version), inline graphs hash their CSR arrays.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.accel.config import AcceleratorConfig
+from repro.algorithms import make_algorithm
+from repro.errors import SweepError
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import load
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """Symbolic reference to a Table 2 dataset at a given scale."""
+
+    key: str
+    scale: float = 1.0
+    seed: int | None = None
+
+    def load(self) -> CSRGraph:
+        return load(self.key, scale=self.scale, seed=self.seed)
+
+    def fingerprint(self) -> str:
+        return f"spec:{self.key}:{self.scale!r}:{self.seed!r}"
+
+
+def graph_fingerprint(graph: GraphSpec | CSRGraph) -> str:
+    """Stable identity of a job's graph for cache keys and worker memos."""
+    if isinstance(graph, GraphSpec):
+        return graph.fingerprint()
+    h = hashlib.sha256()
+    h.update(graph.name.encode("utf-8"))
+    for arr in (graph.offsets, graph.dst, graph.weights):
+        h.update(arr.tobytes())
+    return f"csr:{h.hexdigest()}"
+
+
+@dataclass
+class SweepJob:
+    """One independent simulation: (graph, algorithm, config, source)."""
+
+    graph: GraphSpec | CSRGraph
+    algorithm: str
+    config: AcceleratorConfig
+    algorithm_kwargs: dict[str, Any] = field(default_factory=dict)
+    source: int = 0
+    max_iterations: int | None = None
+    #: caller-owned labels (dataset key, config name, swept-axis values ...)
+    tags: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def resolve_graph(self) -> CSRGraph:
+        if isinstance(self.graph, GraphSpec):
+            return self.graph.load()
+        return self.graph
+
+    def make_algorithm(self):
+        return make_algorithm(self.algorithm, **self.algorithm_kwargs)
+
+    def cache_key(self, code_version: str) -> str:
+        """Content-addressed identity of this job's *result*.
+
+        Key material: graph fingerprint, algorithm (+ kwargs), config
+        hash, run parameters, and the simulator code version — so any
+        change to the simulation semantics invalidates the cache without
+        manual versioning.
+        """
+        payload = json.dumps({
+            "graph": graph_fingerprint(self.graph),
+            "algorithm": self.algorithm,
+            "algorithm_kwargs": self.algorithm_kwargs,
+            "config": self.config.config_hash(),
+            "source": self.source,
+            "max_iterations": self.max_iterations,
+            "code": code_version,
+        }, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        graph = (self.graph.key if isinstance(self.graph, GraphSpec)
+                 else self.graph.name)
+        return f"{self.algorithm}/{graph}/{self.config.name}"
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+
+def _normalize_algorithm(entry) -> tuple[str, dict]:
+    if isinstance(entry, str):
+        return entry, {}
+    try:
+        name, kwargs = entry
+    except (TypeError, ValueError):
+        raise SweepError(
+            f"algorithm entry must be a name or (name, kwargs), got {entry!r}")
+    return name, dict(kwargs)
+
+
+def _normalize_graph(entry) -> GraphSpec | CSRGraph:
+    if isinstance(entry, (GraphSpec, CSRGraph)):
+        return entry
+    if isinstance(entry, str):
+        return GraphSpec(entry)
+    raise SweepError(
+        f"graph entry must be a GraphSpec, CSRGraph or dataset key, got {entry!r}")
+
+
+def _axis_combos(sweep_axes: Mapping[str, Sequence] | None):
+    """Cartesian product over sweep axes, deterministic axis order."""
+    if not sweep_axes:
+        yield {}
+        return
+    names = list(sweep_axes)
+    combos: list[dict] = [{}]
+    for name in names:
+        values = list(sweep_axes[name])
+        if not values:
+            raise SweepError(f"sweep axis {name!r} has no values")
+        combos = [{**combo, name: value} for combo in combos for value in values]
+    yield from combos
+
+
+def plan_jobs(
+    algorithms: Iterable,
+    graphs: Iterable,
+    configs: Mapping[str, AcceleratorConfig] | Iterable[AcceleratorConfig],
+    sweep_axes: Mapping[str, Sequence] | None = None,
+    source: int = 0,
+    max_iterations: int | None = None,
+) -> list[SweepJob]:
+    """Expand the evaluation matrix into a deterministic job list.
+
+    ``algorithms`` are names or ``(name, kwargs)`` pairs; ``graphs`` are
+    dataset keys, :class:`GraphSpec` or :class:`CSRGraph`; ``configs``
+    maps label -> config (or is a plain iterable, labelled by
+    ``config.name``).  ``sweep_axes`` maps :class:`AcceleratorConfig`
+    field names to value lists and multiplies every config by the
+    cartesian product of the axes (applied via ``config.with_``).
+
+    Job order is the nested loop graph > algorithm > config > axes, with
+    graphs outermost so per-process graph memoization in the executor
+    hits as often as possible.  Each job is tagged with ``graph``,
+    ``algorithm``, ``config`` and one tag per swept axis.
+    """
+    if isinstance(configs, Mapping):
+        config_items = list(configs.items())
+    else:
+        config_items = [(cfg.name, cfg) for cfg in configs]
+    if not config_items:
+        raise SweepError("no configs to sweep")
+    alg_items = [_normalize_algorithm(a) for a in algorithms]
+    if not alg_items:
+        raise SweepError("no algorithms to sweep")
+    graph_items = [_normalize_graph(g) for g in graphs]
+    if not graph_items:
+        raise SweepError("no graphs to sweep")
+
+    jobs: list[SweepJob] = []
+    for graph in graph_items:
+        graph_label = graph.key if isinstance(graph, GraphSpec) else graph.name
+        for alg_name, alg_kwargs in alg_items:
+            for cfg_label, cfg in config_items:
+                for combo in _axis_combos(sweep_axes):
+                    try:
+                        job_cfg = cfg.with_(**combo) if combo else cfg
+                    except TypeError:
+                        unknown = set(combo) - {f for f in cfg.to_dict()}
+                        raise SweepError(
+                            f"unknown sweep axis field(s): {sorted(unknown)}")
+                    jobs.append(SweepJob(
+                        graph=graph,
+                        algorithm=alg_name,
+                        algorithm_kwargs=alg_kwargs,
+                        config=job_cfg,
+                        source=source,
+                        max_iterations=max_iterations,
+                        tags={"graph": graph_label, "algorithm": alg_name,
+                              "config": cfg_label, **combo},
+                    ))
+    return jobs

@@ -117,6 +117,64 @@ class TestValidation:
         assert cfg.name == "HiGraph"
 
 
+class TestFieldValidation:
+    def test_zero_dispatcher_group_rejected(self):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(dispatcher_group=0)
+
+    def test_zero_central_issue_limit_rejected(self):
+        """0 used to silently mean "unset" via ``or``; now it is an error."""
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(central_issue_limit=0)
+
+    def test_none_central_issue_limit_defaults_to_front_channels(self):
+        cfg = AcceleratorConfig(central_issue_limit=None)
+        assert cfg.issue_limit == cfg.front_channels
+
+    def test_nonpositive_memory_rejected(self):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(onchip_memory_bytes=0)
+
+    @pytest.mark.parametrize("ghz", [0.0, -1.0, float("inf"), float("nan")])
+    def test_degenerate_target_frequency_rejected(self, ghz):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(target_frequency_ghz=ghz)
+
+
+class TestHashingEquality:
+    def test_equal_configs_hash_equal(self):
+        assert higraph() == higraph()
+        assert hash(higraph()) == hash(higraph())
+        assert higraph().config_hash() == higraph().config_hash()
+
+    def test_field_change_changes_hash(self):
+        base = higraph()
+        for variant in (base.with_(fifo_depth=80),
+                        base.with_(radix=4, front_channels=16,
+                                   back_channels=16, dispatcher_group=4),
+                        base.with_(vertex_combining=False)):
+            assert variant != base
+            assert variant.config_hash() != base.config_hash()
+
+    def test_name_participates_in_hash(self):
+        """Cached stats carry config_name, so a rename is a new identity."""
+        assert higraph().with_(name="other").config_hash() != higraph().config_hash()
+
+    def test_config_hash_is_stable_across_processes(self):
+        """sha256 over canonical JSON, not salted builtin hash()."""
+        import subprocess
+        import sys
+        code = ("from repro.accel import higraph; "
+                "print(higraph().config_hash())")
+        out = subprocess.run([sys.executable, "-c", code], text=True,
+                             capture_output=True, check=True).stdout.strip()
+        assert out == higraph().config_hash()
+
+    def test_to_dict_round_trips(self):
+        cfg = graphdyns(fifo_depth=42)
+        assert AcceleratorConfig(**cfg.to_dict()) == cfg
+
+
 class TestFig7Layout:
     def test_arrays_match_paper_megabytes(self):
         rows = {r["array"]: r for r in fig7_layout()}

@@ -6,7 +6,7 @@ import pytest
 from repro.accel import SlicedAcceleratorSim, higraph, simulate, slice_load_cycles
 from repro.accel.slicing import _exposed_load_cycles
 from repro.algorithms import BFS, SSSP, PageRank, run_reference
-from repro.errors import SimulationError
+from repro.errors import ConfigError, ReproError
 from repro.graph import erdos_renyi, partition_by_destination, rmat
 
 
@@ -93,6 +93,34 @@ class TestSlicedAccounting:
         assert res.stats.total_cycles > fast.stats.total_cycles
 
     def test_bad_bandwidth_rejected(self, graph):
-        with pytest.raises(SimulationError):
+        with pytest.raises(ConfigError):
             SlicedAcceleratorSim(higraph(), graph, BFS(),
                                  offchip_bytes_per_cycle=0)
+
+    def test_bad_bandwidth_is_a_repro_error(self, graph):
+        """Callers catching the library taxonomy see config errors too."""
+        with pytest.raises(ReproError):
+            SlicedAcceleratorSim(higraph(), graph, BFS(),
+                                 offchip_bytes_per_cycle=-3.0)
+
+
+class TestLoadCyclesBoundaries:
+    """Degenerate inputs must fail loudly or cost exactly nothing."""
+
+    def test_zero_edge_slice_costs_nothing(self):
+        assert slice_load_cycles(0, 64.0) == 0
+        assert slice_load_cycles(0, 0.001) == 0
+
+    def test_negative_edges_rejected(self):
+        with pytest.raises(ConfigError):
+            slice_load_cycles(-1, 64.0)
+
+    @pytest.mark.parametrize("bandwidth",
+                             [0, 0.0, -1.0, float("inf"), float("nan")])
+    def test_degenerate_bandwidth_rejected(self, bandwidth):
+        with pytest.raises(ConfigError):
+            slice_load_cycles(1000, bandwidth)
+
+    def test_single_edge_rounds_up_to_one_cycle(self):
+        # 1 edge * 23 bits / 8 = 2.875 bytes, far below one 64 B beat
+        assert slice_load_cycles(1, 64.0) == 1

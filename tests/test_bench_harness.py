@@ -56,6 +56,23 @@ class TestHarness:
         assert stats.edges_processed > 0
         assert stats.gteps > 0
 
+    def test_run_matrix_parallel_and_cached_identical(self, tmp_path):
+        """The sweep engine must not change a single counter: serial,
+        multiprocess and cache-hit matrices agree bit for bit."""
+        kw = dict(algorithms=("BFS", "PR"), datasets=("VT",))
+        serial = run_matrix(**kw)
+        parallel = run_matrix(jobs=2, **kw)
+        cached_cold = run_matrix(cache=tmp_path / "cache", **kw)
+        cached_warm = run_matrix(cache=tmp_path / "cache", **kw)
+        for key, stats in serial.stats.items():
+            for other in (parallel, cached_cold, cached_warm):
+                assert other.stats[key].to_dict() == stats.to_dict(), key
+
+    def test_run_matrix_uses_bench_pr_iterations(self):
+        matrix = run_matrix(algorithms=("PR",), datasets=("VT",),
+                            configs={"HiGraph": higraph()})
+        assert matrix.get("PR", "VT", "HiGraph").iterations == BENCH_PR_ITERATIONS
+
 
 class TestFormatting:
     def test_format_table_alignment(self):

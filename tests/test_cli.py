@@ -78,3 +78,52 @@ class TestCommands:
                      "--scale", "0.03125"]) == 0
         out = capsys.readouterr().out
         assert "radix" in out
+
+
+class TestSweepCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+
+    def test_serial_no_cache(self, capsys):
+        assert main(["sweep", "--datasets", "VT", "--scale", "0.03",
+                     "--algorithms", "BFS", "--configs", "higraph",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 1 jobs" in out
+        assert "cache hits: 0" in out
+
+    def test_parallel_matches_serial_and_cache_warms(self, tmp_path, capsys):
+        argv = ["sweep", "--datasets", "VT", "--scale", "0.03",
+                "--algorithms", "BFS,PR", "--cache-dir", str(tmp_path)]
+        assert main(argv + ["--jobs", "2"]) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        # identical table rows regardless of workers / cache state
+        table = lambda text: text.split("\n\njobs:")[0]
+        assert table(cold) == table(warm)
+        assert "cache hits: 6 (100%)" in warm
+        assert "executed: 0" in warm
+
+    def test_axis_expansion(self, capsys):
+        assert main(["sweep", "--datasets", "VT", "--scale", "0.03",
+                     "--algorithms", "BFS", "--configs", "higraph",
+                     "--axis", "fifo_depth=40,160", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 2 jobs" in out
+        assert "fifo_depth" in out
+
+    def test_unknown_dataset_fails_cleanly(self, capsys):
+        assert main(["sweep", "--datasets", "NOPE"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_unknown_config_fails_cleanly(self, capsys):
+        assert main(["sweep", "--datasets", "VT", "--configs", "nope"]) == 2
+        assert "unknown config" in capsys.readouterr().err
+
+    def test_malformed_axis_fails_cleanly(self, capsys):
+        assert main(["sweep", "--datasets", "VT", "--axis", "fifo_depth"]) == 2
+        assert "--axis expects" in capsys.readouterr().err

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, FifoOverflowError, SimulationError
 from repro.hw import Fifo, MultiWriteFifo
 
 
@@ -73,6 +73,37 @@ class TestFifo:
                 else:
                     assert f.full
             assert len(f) == len(model)
+
+
+class TestOverflowTaxonomy:
+    """Overflow is a simulator-invariant violation AND an OverflowError.
+
+    The simulator's deliberate failures all derive from ``ReproError``;
+    pre-taxonomy callers that catch ``OverflowError`` keep working.
+    """
+
+    def test_push_raises_simulation_error(self):
+        f = Fifo(1)
+        f.push(1)
+        with pytest.raises(SimulationError):
+            f.push(2)
+
+    def test_push_keeps_overflow_error_compatibility(self):
+        f = Fifo(1)
+        f.push(1)
+        with pytest.raises(OverflowError):
+            f.push(2)
+
+    def test_push_many_over_ports_in_taxonomy(self):
+        f = MultiWriteFifo(8, write_ports=2)
+        with pytest.raises(FifoOverflowError):
+            f.push_many([1, 2, 3])
+
+    def test_push_many_over_free_in_taxonomy(self):
+        f = MultiWriteFifo(2, write_ports=2)
+        f.push(1)
+        with pytest.raises(FifoOverflowError):
+            f.push_many([2, 3])
 
 
 class TestMultiWriteFifo:

@@ -90,6 +90,41 @@ class TestBasics:
         delivered.extend(run_until_drained(net))
         assert [p for _, p in delivered] == list(range(10))
 
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_deliver_advance_offer_protocol_keeps_flow_order(self, seed):
+        """Regression for the pipeline's explicit per-cycle protocol
+        (deliver -> advance -> offer, exactly as the accelerator drives
+        it, with flaky sinks): for every (input, dest) pair the payloads
+        must arrive in offer order, even while flows from the same input
+        interleave different destinations and stall on backpressure."""
+        n = 8
+        rng = np.random.default_rng(seed)
+        net = MdpNetworkSim(n, 2, fifo_depth=4)
+        offered: dict[tuple[int, int], list[int]] = {}
+        received: dict[tuple[int, int], list[int]] = {}
+        next_payload = 0
+        pending = 0
+        for cycle in range(600):
+            sink_ready = list(rng.random(n) < 0.7)
+            for dest, (src, _, payload) in net.deliver(
+                    sink_ready=[bool(r) for r in sink_ready]):
+                received.setdefault((src, dest), []).append(payload)
+                pending -= 1
+            net.advance()
+            for src in range(n):
+                if rng.random() < 0.8:
+                    dest = int(rng.integers(0, n))
+                    if net.offer(src, dest, (src, dest, next_payload)):
+                        offered.setdefault((src, dest), []).append(next_payload)
+                        next_payload += 1
+                        pending += 1
+        for dest, (src, _, payload) in run_until_drained(net):
+            received.setdefault((src, dest), []).append(payload)
+            pending -= 1
+        assert pending == 0
+        assert received == offered
+
 
 class TestConservation:
     @given(seed=st.integers(0, 200), n_log=st.integers(1, 4))

@@ -1,0 +1,264 @@
+"""Tests for the sweep subsystem: planning, caching, parallel execution."""
+
+import json
+
+import pytest
+
+from repro.accel import AcceleratorConfig, graphdyns, higraph
+from repro.errors import SweepError
+from repro.graph import rmat
+from repro.sweep import (
+    GraphSpec,
+    ResultCache,
+    SweepJob,
+    code_version,
+    execute_job,
+    graph_fingerprint,
+    plan_jobs,
+    resolve_workers,
+    run_sweep,
+)
+
+SMALL = GraphSpec("VT", scale=0.03)
+
+
+@pytest.fixture(scope="module")
+def tiny_graph():
+    return rmat(7, 4.0, seed=5, name="tiny")
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+
+class TestPlanning:
+    def test_matrix_expansion_and_order(self):
+        jobs = plan_jobs(["BFS", "SSSP"], ["VT", "R14"],
+                         {"HiGraph": higraph(), "GraphDynS": graphdyns()})
+        assert len(jobs) == 8
+        # graphs outermost, then algorithms, then configs
+        assert [j.describe() for j in jobs[:4]] == [
+            "BFS/VT/HiGraph", "BFS/VT/GraphDynS",
+            "SSSP/VT/HiGraph", "SSSP/VT/GraphDynS"]
+        assert all(j.tags["graph"] == "R14" for j in jobs[4:])
+
+    def test_sweep_axes_multiply_configs(self):
+        jobs = plan_jobs(["PR"], ["R14"], {"HiGraph": higraph()},
+                         sweep_axes={"fifo_depth": (40, 160),
+                                     "vertex_combining": (True, False)})
+        assert len(jobs) == 4
+        assert {(j.config.fifo_depth, j.config.vertex_combining)
+                for j in jobs} == {(40, True), (40, False),
+                                   (160, True), (160, False)}
+        assert jobs[0].tags["fifo_depth"] == 40
+
+    def test_algorithm_kwargs_pairs(self):
+        jobs = plan_jobs([("PR", {"iterations": 3})], ["VT"],
+                         {"HiGraph": higraph()})
+        assert jobs[0].make_algorithm().default_iterations == 3
+
+    def test_plain_config_iterable_labelled_by_name(self):
+        jobs = plan_jobs(["BFS"], ["VT"], [higraph(), graphdyns()])
+        assert [j.tags["config"] for j in jobs] == ["HiGraph", "GraphDynS"]
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(SweepError):
+            plan_jobs(["BFS"], ["VT"], {"H": higraph()},
+                      sweep_axes={"fifo_depth": ()})
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(SweepError):
+            plan_jobs(["BFS"], ["VT"], {"H": higraph()},
+                      sweep_axes={"no_such_field": (1, 2)})
+
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(SweepError):
+            plan_jobs([], ["VT"], {"H": higraph()})
+        with pytest.raises(SweepError):
+            plan_jobs(["BFS"], [], {"H": higraph()})
+        with pytest.raises(SweepError):
+            plan_jobs(["BFS"], ["VT"], {})
+
+    def test_bad_graph_entry_rejected(self):
+        with pytest.raises(SweepError):
+            plan_jobs(["BFS"], [42], {"H": higraph()})
+
+
+class TestFingerprints:
+    def test_spec_fingerprint_is_symbolic(self):
+        assert graph_fingerprint(GraphSpec("VT", 0.5)) == "spec:VT:0.5:None"
+
+    def test_csr_fingerprint_tracks_content(self, tiny_graph):
+        fp = graph_fingerprint(tiny_graph)
+        assert fp == graph_fingerprint(tiny_graph)
+        other = tiny_graph.with_weights(tiny_graph.weights + 1)
+        assert graph_fingerprint(other) != fp
+
+    def test_cache_key_depends_on_each_component(self):
+        version = code_version()
+        base = SweepJob(graph=SMALL, algorithm="BFS", config=higraph())
+        key = base.cache_key(version)
+        assert key == SweepJob(graph=SMALL, algorithm="BFS",
+                               config=higraph()).cache_key(version)
+        variations = [
+            SweepJob(graph=GraphSpec("VT", scale=0.06), algorithm="BFS",
+                     config=higraph()),
+            SweepJob(graph=SMALL, algorithm="SSSP", config=higraph()),
+            SweepJob(graph=SMALL, algorithm="BFS", config=graphdyns()),
+            SweepJob(graph=SMALL, algorithm="BFS", config=higraph(), source=1),
+            SweepJob(graph=SMALL, algorithm="BFS", config=higraph(),
+                     max_iterations=2),
+        ]
+        assert len({v.cache_key(version) for v in variations} | {key}) == 6
+        assert base.cache_key("other-code-version") != key
+
+    def test_tags_do_not_affect_cache_key(self):
+        version = code_version()
+        a = SweepJob(graph=SMALL, algorithm="BFS", config=higraph(),
+                     tags={"graph": "VT"})
+        b = SweepJob(graph=SMALL, algorithm="BFS", config=higraph(),
+                     tags={"anything": "else"})
+        assert a.cache_key(version) == b.cache_key(version)
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        job = SweepJob(graph=SMALL, algorithm="BFS", config=higraph())
+        stats = execute_job(job)
+        key = job.cache_key(code_version())
+        assert cache.get(key) is None
+        cache.put(key, stats)
+        restored = cache.get(key)
+        assert restored is not None
+        assert restored.to_dict() == stats.to_dict()
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_stale_schema_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "0" * 62
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"stats": {"no_such_field": 1}}))
+        assert cache.get(key) is None
+
+    def test_entries_are_auditable_json(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = SweepJob(graph=SMALL, algorithm="BFS", config=higraph())
+        key = job.cache_key(code_version())
+        cache.put(key, execute_job(job), provenance={"job": job.describe()})
+        payload = json.loads(cache._path(key).read_text())
+        assert payload["key"] == key
+        assert payload["provenance"]["job"] == "BFS/VT/HiGraph"
+        assert payload["stats"]["algorithm"] == "BFS"
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = SweepJob(graph=SMALL, algorithm="BFS", config=higraph())
+        cache.put(job.cache_key(code_version()), execute_job(job))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_code_version_is_stable_and_hex(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 64
+        int(code_version(), 16)
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+
+def _jobs():
+    return plan_jobs(["BFS", ("PR", {"iterations": 2})], [SMALL],
+                     {"HiGraph": higraph(), "GraphDynS": graphdyns()})
+
+
+class TestExecutor:
+    def test_resolve_workers(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+        with pytest.raises(SweepError):
+            resolve_workers(-2)
+
+    def test_serial_results_in_job_order(self):
+        outcome = run_sweep(_jobs(), num_workers=1)
+        assert [s.algorithm for s in outcome.stats] == ["BFS", "BFS", "PR", "PR"]
+        assert [s.config_name for s in outcome.stats] == [
+            "HiGraph", "GraphDynS", "HiGraph", "GraphDynS"]
+        assert outcome.executed == 4
+        assert outcome.wall_seconds > 0
+
+    def test_parallel_identical_to_serial(self):
+        jobs = _jobs()
+        serial = run_sweep(jobs, num_workers=1)
+        parallel = run_sweep(jobs, num_workers=3)
+        assert [s.to_dict() for s in serial.stats] == \
+               [s.to_dict() for s in parallel.stats]
+        assert parallel.workers_used == 3
+
+    def test_inline_graph_jobs_run_in_workers(self, tiny_graph):
+        jobs = plan_jobs(["BFS"], [tiny_graph],
+                         {"HiGraph": higraph(), "GraphDynS": graphdyns()})
+        serial = run_sweep(jobs, num_workers=1)
+        parallel = run_sweep(jobs, num_workers=2)
+        assert [s.to_dict() for s in serial.stats] == \
+               [s.to_dict() for s in parallel.stats]
+
+    def test_cold_then_warm_cache(self, tmp_path):
+        jobs = _jobs()
+        cold = run_sweep(jobs, num_workers=1, cache=tmp_path / "cache")
+        assert (cold.cache_hits, cold.executed) == (0, 4)
+        warm = run_sweep(jobs, num_workers=1, cache=tmp_path / "cache")
+        assert (warm.cache_hits, warm.executed) == (4, 0)
+        assert warm.hit_rate == 1.0
+        assert [s.to_dict() for s in warm.stats] == \
+               [s.to_dict() for s in cold.stats]
+
+    def test_cache_shared_between_serial_and_parallel(self, tmp_path):
+        jobs = _jobs()
+        run_sweep(jobs, num_workers=2, cache=tmp_path / "cache")
+        warm = run_sweep(jobs, num_workers=1, cache=tmp_path / "cache")
+        assert warm.executed == 0
+
+    def test_duplicate_jobs_simulated_once(self, tmp_path):
+        jobs = _jobs() + _jobs()
+        outcome = run_sweep(jobs, num_workers=1, cache=tmp_path / "cache")
+        assert outcome.executed == 4
+        assert outcome.cache_hits == 4       # the duplicate half
+        assert [s.to_dict() for s in outcome.stats[:4]] == \
+               [s.to_dict() for s in outcome.stats[4:]]
+
+    def test_progress_callback_sees_every_job(self):
+        seen = []
+        run_sweep(_jobs(), num_workers=1,
+                  progress=lambda done, total, job: seen.append((done, total)))
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_rows_merge_tags_and_metrics(self):
+        outcome = run_sweep(_jobs()[:2], num_workers=1)
+        rows = outcome.rows(metrics=("gteps",))
+        assert rows[0]["algorithm"] == "BFS"
+        assert rows[0]["config"] == "HiGraph"
+        assert rows[0]["gteps"] == outcome.stats[0].gteps
+
+    def test_no_cache_means_every_job_executes(self):
+        outcome = run_sweep(_jobs(), num_workers=1, cache=None)
+        assert outcome.executed == 4
+        assert outcome.cache_hits == 0
