@@ -11,14 +11,17 @@ runs — the numbers are identical either way:
                        cache, always simulate).
 
 Every bench writes its rendered table under ``benchmarks/results/`` so
-the numbers survive the pytest run.
+the numbers survive the pytest run.  A cache warmed here (set
+``REPRO_CACHE_DIR``) lets ``repro report --cache-dir <dir>``
+regenerate the whole consolidated report afterwards without a single
+simulation — see docs/cli.md.
 """
 
 import os
 
 import pytest
 
-from repro.bench import format_table, load_bench_graph, run_matrix
+from repro.bench import format_table, run_matrix
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -50,15 +53,17 @@ def evaluation_matrix(sweep_options):
 
 
 @pytest.fixture(scope="session")
-def r14_graph():
-    return load_bench_graph("R14")
+def fig10_data(sweep_options):
+    """Fig. 10(a)/(b) share one ablation sweep (16 simulations).
 
-
-@pytest.fixture(scope="session")
-def fig10_data(r14_graph, sweep_options):
-    """Fig. 10(a)/(b) share one ablation sweep (16 simulations)."""
+    Every sweep-backed bench references its graph symbolically (the
+    default `GraphSpec`), never as a loaded `CSRGraph` — inline graphs
+    fingerprint differently, and a cache warmed here must hand the
+    exact same keys to `repro report`.  Workers memoize the loaded
+    graph per process, so this costs one R14 load either way.
+    """
     from repro.bench import fig10_rows
-    return fig10_rows(graph=r14_graph, num_workers=sweep_options["jobs"],
+    return fig10_rows(num_workers=sweep_options["jobs"],
                       cache=sweep_options["cache"])
 
 

@@ -11,9 +11,11 @@ input-side combining point.
 from repro.bench import combining_ablation_rows
 
 
-def test_combining_ablation(benchmark, emit, r14_graph):
-    rows = benchmark.pedantic(lambda: combining_ablation_rows(graph=r14_graph),
-                              rounds=1, iterations=1)
+def test_combining_ablation(benchmark, emit, sweep_options):
+    rows = benchmark.pedantic(
+        lambda: combining_ablation_rows(num_workers=sweep_options["jobs"],
+                                        cache=sweep_options["cache"]),
+        rounds=1, iterations=1)
     emit("ablation_combining", rows,
          title="Ablation: vertex coalescing at the propagation site (PR, R14)")
 

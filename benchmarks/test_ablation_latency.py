@@ -11,36 +11,19 @@ ablation probes both sides of the trade:
 * a **throughput-bound** workload (PR on R-MAT: channels stay busy, the
   extra stages vanish into the pipeline and the conflict reduction
   wins).
+
+Since PR 2 both pairs run as sweep jobs (``latency_ablation_rows``), so
+the bench shards/caches like every other figure.
 """
 
-from repro.accel import graphdyns, higraph, simulate
-from repro.algorithms import BFS, PageRank
-from repro.graph import chain
+from repro.bench import latency_ablation_rows
 
 
-def test_latency_vs_throughput_tradeoff(benchmark, emit, r14_graph):
-    def run():
-        rows = []
-        latency_graph = chain(256)
-        for maker, label in ((higraph, "HiGraph"), (graphdyns, "GraphDynS")):
-            stats = simulate(maker(), latency_graph, BFS()).stats
-            rows.append({"workload": "chain-BFS (latency-bound)",
-                         "design": label,
-                         "cycles": stats.total_cycles,
-                         "cycles_per_iteration":
-                             stats.total_cycles / max(1, stats.iterations),
-                         "gteps": stats.gteps})
-        for maker, label in ((higraph, "HiGraph"), (graphdyns, "GraphDynS")):
-            stats = simulate(maker(), r14_graph, PageRank(iterations=2)).stats
-            rows.append({"workload": "R14-PR (throughput-bound)",
-                         "design": label,
-                         "cycles": stats.total_cycles,
-                         "cycles_per_iteration":
-                             stats.total_cycles / max(1, stats.iterations),
-                         "gteps": stats.gteps})
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+def test_latency_vs_throughput_tradeoff(benchmark, emit, sweep_options):
+    rows = benchmark.pedantic(
+        lambda: latency_ablation_rows(num_workers=sweep_options["jobs"],
+                                      cache=sweep_options["cache"]),
+        rounds=1, iterations=1)
     emit("ablation_latency", rows,
          title="Ablation: trading latency for throughput (Sec. 2.2)")
 

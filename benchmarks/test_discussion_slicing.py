@@ -5,43 +5,26 @@ processed on chip ... the time consumed in the replacement of slices
 can be overlapped using double buffer design."
 
 The bench compares single-buffered (all loads exposed) against
-double-buffered execution of a sliced run.
+double-buffered execution of a sliced run.  Since PR 2 the sliced run
+is a sweep job (``slicing_rows``), so it shards and caches like every
+other figure and the report pipeline can regenerate it from a warm
+cache without simulating.
 """
 
-from repro.accel import SlicedAcceleratorSim, higraph, slice_load_cycles
-from repro.algorithms import PageRank
-from repro.graph import partition_by_destination
+from repro.bench import slicing_rows
 
 
-def test_discussion_slicing_double_buffer(benchmark, emit, r14_graph):
-    slices = partition_by_destination(r14_graph, 4)
-    bandwidth = 64.0   # bytes per cycle (64 GB/s at 1 GHz)
-
-    def run():
-        sim = SlicedAcceleratorSim(higraph(), r14_graph, PageRank(iterations=2),
-                                   slices=slices,
-                                   offchip_bytes_per_cycle=bandwidth)
-        res = sim.run()
-        stats = res.stats
-        total_load = sum(slice_load_cycles(s.num_edges, bandwidth)
-                         for s in slices) * stats.iterations
-        compute = stats.scatter_cycles + stats.apply_cycles
-        return [{
-            "slices": stats.slices,
-            "compute_cycles": compute,
-            "raw_load_cycles": total_load,
-            "exposed_load_cycles": stats.slice_load_cycles,
-            "single_buffer_total": compute + total_load,
-            "double_buffer_total": stats.total_cycles,
-            "gteps_double_buffered": stats.gteps,
-        }]
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+def test_discussion_slicing_double_buffer(benchmark, emit, sweep_options):
+    rows = benchmark.pedantic(
+        lambda: slicing_rows(num_workers=sweep_options["jobs"],
+                             cache=sweep_options["cache"]),
+        rounds=1, iterations=1)
     emit("discussion_slicing", rows,
          title="Sec. 5.3: sliced execution with double buffering (PR, R14)",
          floatfmt=".1f")
 
     row = rows[0]
+    assert row["slices"] == 4
     # double buffering hides a large part of the replacement traffic
     assert row["exposed_load_cycles"] < row["raw_load_cycles"]
     assert row["double_buffer_total"] < row["single_buffer_total"]

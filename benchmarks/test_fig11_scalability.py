@@ -8,9 +8,11 @@ Paper: GraphDynS cannot scale past 64 channels (frequency decline, Fig.
 from repro.bench import fig11_rows
 
 
-def test_fig11_backend_channel_scaling(benchmark, emit, r14_graph):
-    rows = benchmark.pedantic(lambda: fig11_rows(graph=r14_graph),
-                              rounds=1, iterations=1)
+def test_fig11_backend_channel_scaling(benchmark, emit, sweep_options):
+    rows = benchmark.pedantic(
+        lambda: fig11_rows(num_workers=sweep_options["jobs"],
+                           cache=sweep_options["cache"]),
+        rounds=1, iterations=1)
     emit("fig11_scalability", rows,
          title="Fig. 11: throughput vs back-end channels (PR, R14)")
 

@@ -9,9 +9,11 @@ larger buffers."
 from repro.bench import FIG12_BUFFER_SIZES, fig12_rows
 
 
-def test_fig12_buffer_size_sweep(benchmark, emit, r14_graph):
-    rows = benchmark.pedantic(lambda: fig12_rows(graph=r14_graph),
-                              rounds=1, iterations=1)
+def test_fig12_buffer_size_sweep(benchmark, emit, sweep_options):
+    rows = benchmark.pedantic(
+        lambda: fig12_rows(num_workers=sweep_options["jobs"],
+                           cache=sweep_options["cache"]),
+        rounds=1, iterations=1)
     emit("fig12_buffer_size", rows,
          title="Fig. 12: throughput vs FIFO buffer size (PR, R14)")
 

@@ -12,9 +12,11 @@ and 8 all admit a legal network).
 from repro.bench import sec54_radix_rows
 
 
-def test_sec54_radix_study(benchmark, emit, r14_graph):
-    rows = benchmark.pedantic(lambda: sec54_radix_rows(graph=r14_graph),
-                              rounds=1, iterations=1)
+def test_sec54_radix_study(benchmark, emit, sweep_options):
+    rows = benchmark.pedantic(
+        lambda: sec54_radix_rows(num_workers=sweep_options["jobs"],
+                                 cache=sweep_options["cache"]),
+        rounds=1, iterations=1)
     emit("sec54_radix", rows, title="Sec. 5.4: radix design option (PR, R14)",
          floatfmt=".3f")
 

@@ -4,26 +4,11 @@ Regenerates the configuration table and checks the frequency column:
 every design synthesizes to the 1 GHz target at its Table 1 geometry.
 """
 
-from repro.bench import paper_configs
+from repro.bench import table1_config_rows
 
 
 def test_table1_configurations(benchmark, emit):
-    def build():
-        rows = []
-        for name, cfg in paper_configs().items():
-            rows.append({
-                "design": name,
-                "frequency_ghz": cfg.frequency_ghz(),
-                "front_channels": cfg.front_channels,
-                "back_channels": cfg.back_channels,
-                "onchip_memory_mb": cfg.onchip_memory_bytes / 2**20,
-                "offset_site": cfg.offset_site,
-                "edge_site": cfg.edge_site,
-                "propagation_site": cfg.propagation_site,
-            })
-        return rows
-
-    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = benchmark.pedantic(table1_config_rows, rounds=1, iterations=1)
     emit("table1_configs", rows, title="Table 1: configurations")
 
     by_name = {r["design"]: r for r in rows}

@@ -4,29 +4,12 @@ Regenerates the dataset table: paper sizes next to the generated
 stand-ins at both full registry size and the harness bench scale.
 """
 
-from repro.bench import bench_scale, load_bench_graph
+from repro.bench import table2_dataset_rows
 from repro.graph import DATASET_ORDER, TABLE2
 
 
 def test_table2_datasets(benchmark, emit):
-    def build():
-        rows = []
-        for key in DATASET_ORDER:
-            spec = TABLE2[key]
-            g = load_bench_graph(key)
-            rows.append({
-                "name": key,
-                "paper_vertices": spec.num_vertices,
-                "paper_edges": spec.num_edges,
-                "paper_degree": spec.degree,
-                "bench_scale": bench_scale(key),
-                "bench_vertices": g.num_vertices,
-                "bench_edges": g.num_edges,
-                "bench_degree": round(g.mean_degree, 1),
-            })
-        return rows
-
-    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = benchmark.pedantic(table2_dataset_rows, rounds=1, iterations=1)
     emit("table2_datasets", rows, title="Table 2: benchmark datasets",
          floatfmt=".4g")
 

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 tests plus a parallel smoke sweep.
+# CI entry point: tier-1 tests, a parallel smoke sweep, a cold/warm
+# report regeneration check, and a docs-vs-CLI consistency check.
 #
 # The smoke sweep exercises the multiprocessing executor and the result
 # cache on a tiny generated graph (VT stand-in at 3% scale): a cold
 # 2-job run must execute every cell, and an immediately repeated run
 # must come entirely from cache.
+#
+# The report smoke does the same for the regeneration pipeline: a warm
+# `repro report` must execute zero simulations and reproduce REPORT.md
+# byte-for-byte.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,9 +18,14 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo "== docs check (docs/cli.md vs repro --help) =="
+python scripts/check_cli_docs.py
+
 echo "== smoke sweep (2 jobs, cold cache) =="
 CACHE_DIR="$(mktemp -d)"
-trap 'rm -rf "$CACHE_DIR"' EXIT
+REPORT_DIR="$(mktemp -d)"
+REPORT_CACHE="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR" "$REPORT_DIR" "$REPORT_CACHE"' EXIT
 python -m repro sweep --datasets VT --scale 0.03 --algorithms BFS,PR \
     --jobs 2 --cache-dir "$CACHE_DIR" | tee /tmp/ci-sweep-cold.txt
 grep -q "cache hits: 0" /tmp/ci-sweep-cold.txt
@@ -29,5 +39,19 @@ grep -q "executed: 0" /tmp/ci-sweep-warm.txt
 # identical tables regardless of cache state
 diff <(sed '/^jobs:/d' /tmp/ci-sweep-cold.txt) \
      <(sed '/^jobs:/d' /tmp/ci-sweep-warm.txt)
+
+echo "== report regeneration (cold) =="
+REPRO_SCALE=0.03 python -m repro report --results-dir "$REPORT_DIR" \
+    --cache-dir "$REPORT_CACHE" --section fig10 --section latency \
+    | tee /tmp/ci-report-cold.txt
+cp "$REPORT_DIR/REPORT.md" /tmp/ci-report-cold.md
+
+echo "== report regeneration (warm: zero simulations, identical bytes) =="
+REPRO_SCALE=0.03 python -m repro report --results-dir "$REPORT_DIR" \
+    --cache-dir "$REPORT_CACHE" --section fig10 --section latency \
+    | tee /tmp/ci-report-warm.txt
+grep -Eq "^sections: .*cache hits: 20 \(100%\)  executed: 0  " \
+    /tmp/ci-report-warm.txt
+cmp /tmp/ci-report-cold.md "$REPORT_DIR/REPORT.md"
 
 echo "CI OK"

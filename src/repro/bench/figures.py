@@ -1,22 +1,34 @@
 """Per-figure experiment definitions for the paper's evaluation section.
 
-Each function regenerates the data series behind one figure and returns
-plain row dicts; ``benchmarks/`` prints them as tables and asserts the
-paper's qualitative claims.
+Each figure is split into a **planner** (``fig*_jobs`` — returns the
+:class:`~repro.sweep.jobs.SweepJob` list behind the figure) and an
+**assembler** (``fig*_assemble`` — turns the finished
+:class:`~repro.sweep.executor.SweepOutcome` into plain row dicts).  The
+``fig*_rows`` convenience wrappers run both; ``benchmarks/`` prints the
+rows as tables and asserts the paper's qualitative claims, and
+:mod:`repro.bench.regen` drives the split form directly so the
+consolidated report regenerates straight from a warm cache with full
+execution accounting.
 
-All figure sweeps run on the sweep engine (:mod:`repro.sweep`): the
-row functions only *plan* their job matrix, so every one of them accepts
-``num_workers`` (process count; 1 = serial) and ``cache`` (a
-:class:`repro.sweep.ResultCache` or directory path) and produces
-identical rows regardless of either knob.
+All figure sweeps run on the sweep engine (:mod:`repro.sweep`): every
+``fig*_rows`` function accepts ``num_workers`` (process count; 1 =
+serial) and ``cache`` (a :class:`repro.sweep.ResultCache` or directory
+path) and produces identical rows regardless of either knob.
 """
 
 from __future__ import annotations
 
-from repro.accel import ablation, graphdyns, higraph
-from repro.bench.harness import bench_algorithm_entry, bench_graph_spec
+from repro.accel import ablation, graphdyns, higraph, slice_load_cycles
+from repro.bench.harness import (
+    BENCH_PR_ITERATIONS,
+    bench_algorithm_entry,
+    bench_graph_spec,
+    bench_scale,
+    paper_configs,
+)
+from repro.graph import DATASET_ORDER, TABLE2, chain, partition_by_destination
 from repro.graph.csr import CSRGraph
-from repro.sweep import plan_jobs, run_sweep
+from repro.sweep import SweepJob, SweepOutcome, plan_jobs, run_sweep
 
 #: Ablation order of paper Fig. 10 (cumulative optimizations).
 FIG10_STEPS = (
@@ -39,22 +51,36 @@ FIG12_BUFFER_SIZES = (8, 20, 40, 80, 160, 320)
 SEC54_RADICES = (2, 4, 8)
 SEC54_CHANNELS = 64
 
+#: Latency-bound workload of the §2.2 ablation: BFS on a chain exposes
+#: one full pipeline traversal per iteration.
+LATENCY_CHAIN_VERTICES = 256
+
+#: §5.3 slicing discussion defaults: 4 destination slices, 64 B/cycle
+#: off-chip bandwidth (64 GB/s at the 1 GHz design point).
+SLICING_NUM_SLICES = 4
+SLICING_BYTES_PER_CYCLE = 64.0
+
 
 def _figure_graph(dataset: str, graph: CSRGraph | None):
     """Inline graph if the caller provided one, else a symbolic bench spec."""
     return graph if graph is not None else bench_graph_spec(dataset)
 
 
-def fig10_rows(dataset: str = "R14", algorithms=("BFS", "SSSP", "SSWP", "PR"),
-               graph: CSRGraph | None = None,
-               num_workers: int | None = 1, cache=None) -> list[dict]:
-    """Fig. 10(a) + (b): cumulative-optimization throughput & starvation."""
-    jobs = plan_jobs(
+# ----------------------------------------------------------------------
+# Fig. 10 — cumulative optimization ablation
+# ----------------------------------------------------------------------
+
+def fig10_jobs(dataset: str = "R14",
+               algorithms=("BFS", "SSSP", "SSWP", "PR"),
+               graph: CSRGraph | None = None) -> list[SweepJob]:
+    return plan_jobs(
         [bench_algorithm_entry(a) for a in algorithms],
         [_figure_graph(dataset, graph)],
         {label: ablation(**opts) for label, opts in FIG10_STEPS},
     )
-    outcome = run_sweep(jobs, num_workers=num_workers, cache=cache)
+
+
+def fig10_assemble(outcome: SweepOutcome) -> list[dict]:
     return [{
         "algorithm": job.tags["algorithm"],
         "step": job.tags["config"],
@@ -64,16 +90,31 @@ def fig10_rows(dataset: str = "R14", algorithms=("BFS", "SSSP", "SSWP", "PR"),
     } for job, stats in zip(outcome.jobs, outcome.stats)]
 
 
-def fig11_rows(dataset: str = "R14", graph: CSRGraph | None = None,
+def fig10_rows(dataset: str = "R14", algorithms=("BFS", "SSSP", "SSWP", "PR"),
+               graph: CSRGraph | None = None,
                num_workers: int | None = 1, cache=None) -> list[dict]:
-    """Fig. 11: throughput versus number of back-end channels (PR/R14)."""
+    """Fig. 10(a) + (b): cumulative-optimization throughput & starvation."""
+    outcome = run_sweep(fig10_jobs(dataset, algorithms, graph),
+                        num_workers=num_workers, cache=cache)
+    return fig10_assemble(outcome)
+
+
+# ----------------------------------------------------------------------
+# Fig. 11 — back-end channel scaling
+# ----------------------------------------------------------------------
+
+def fig11_jobs(dataset: str = "R14",
+               graph: CSRGraph | None = None) -> list[SweepJob]:
     target = _figure_graph(dataset, graph)
     pr = bench_algorithm_entry("PR")
     jobs = plan_jobs([pr], [target], {"GraphDynS": graphdyns()},
                      sweep_axes={"back_channels": FIG11_GRAPHDYNS_CHANNELS})
     jobs += plan_jobs([pr], [target], {"HiGraph": higraph()},
                       sweep_axes={"back_channels": FIG11_HIGRAPH_CHANNELS})
-    outcome = run_sweep(jobs, num_workers=num_workers, cache=cache)
+    return jobs
+
+
+def fig11_assemble(outcome: SweepOutcome) -> list[dict]:
     return [{
         "design": job.tags["config"],
         "back_channels": job.tags["back_channels"],
@@ -82,19 +123,30 @@ def fig11_rows(dataset: str = "R14", graph: CSRGraph | None = None,
     } for job, stats in zip(outcome.jobs, outcome.stats)]
 
 
-def fig12_rows(dataset: str = "R14", buffer_sizes=FIG12_BUFFER_SIZES,
-               graph: CSRGraph | None = None,
+def fig11_rows(dataset: str = "R14", graph: CSRGraph | None = None,
                num_workers: int | None = 1, cache=None) -> list[dict]:
-    """Fig. 12: throughput versus per-channel FIFO buffer size.
+    """Fig. 11: throughput versus number of back-end channels (PR/R14)."""
+    outcome = run_sweep(fig11_jobs(dataset, graph),
+                        num_workers=num_workers, cache=cache)
+    return fig11_assemble(outcome)
+
+
+# ----------------------------------------------------------------------
+# Fig. 12 — buffer size sweep
+# ----------------------------------------------------------------------
+
+def fig12_jobs(dataset: str = "R14", buffer_sizes=FIG12_BUFFER_SIZES,
+               graph: CSRGraph | None = None) -> list[SweepJob]:
+    """Fig. 12 job matrix.
 
     "We keep all designs in HiGraph the same except for the dataflow
     propagation stage, in which we replace MDP-network with
-    FIFO-plus-crossbar design."
+    FIFO-plus-crossbar design."  Buffer size is the outermost loop (the
+    paper's x-axis order), so one planner call per size rather than one
+    sweep_axes expansion.
     """
     target = _figure_graph(dataset, graph)
     pr = bench_algorithm_entry("PR")
-    # buffer size outermost (the paper's x-axis order), so one planner
-    # call per size rather than one sweep_axes expansion
     jobs = []
     for entries in buffer_sizes:
         jobs += plan_jobs([pr], [target], {
@@ -102,7 +154,10 @@ def fig12_rows(dataset: str = "R14", buffer_sizes=FIG12_BUFFER_SIZES,
             "FIFO+crossbar": higraph(propagation_site="crossbar",
                                      fifo_depth=entries),
         })
-    outcome = run_sweep(jobs, num_workers=num_workers, cache=cache)
+    return jobs
+
+
+def fig12_assemble(outcome: SweepOutcome) -> list[dict]:
     return [{
         "design": job.tags["config"],
         "buffer_entries": job.config.fifo_depth,
@@ -110,18 +165,31 @@ def fig12_rows(dataset: str = "R14", buffer_sizes=FIG12_BUFFER_SIZES,
     } for job, stats in zip(outcome.jobs, outcome.stats)]
 
 
-def sec54_radix_rows(dataset: str = "R14", graph: CSRGraph | None = None,
-                     num_workers: int | None = 1, cache=None) -> list[dict]:
-    """§5.4 radix study: 'a too large radix still encounters design
-    centralization, which degrades the performance'."""
-    jobs = plan_jobs(
+def fig12_rows(dataset: str = "R14", buffer_sizes=FIG12_BUFFER_SIZES,
+               graph: CSRGraph | None = None,
+               num_workers: int | None = 1, cache=None) -> list[dict]:
+    """Fig. 12: throughput versus per-channel FIFO buffer size."""
+    outcome = run_sweep(fig12_jobs(dataset, buffer_sizes, graph),
+                        num_workers=num_workers, cache=cache)
+    return fig12_assemble(outcome)
+
+
+# ----------------------------------------------------------------------
+# §5.4 — radix design option
+# ----------------------------------------------------------------------
+
+def sec54_radix_jobs(dataset: str = "R14",
+                     graph: CSRGraph | None = None) -> list[SweepJob]:
+    return plan_jobs(
         [bench_algorithm_entry("PR")],
         [_figure_graph(dataset, graph)],
         {"HiGraph": higraph(back_channels=SEC54_CHANNELS,
                             front_channels=SEC54_CHANNELS)},
         sweep_axes={"radix": SEC54_RADICES},
     )
-    outcome = run_sweep(jobs, num_workers=num_workers, cache=cache)
+
+
+def sec54_radix_assemble(outcome: SweepOutcome) -> list[dict]:
     return [{
         "radix": job.tags["radix"],
         "frequency_ghz": stats.frequency_ghz,
@@ -130,11 +198,21 @@ def sec54_radix_rows(dataset: str = "R14", graph: CSRGraph | None = None,
     } for job, stats in zip(outcome.jobs, outcome.stats)]
 
 
-def combining_ablation_rows(dataset: str = "R14",
-                            graph: CSRGraph | None = None,
-                            num_workers: int | None = 1, cache=None) -> list[dict]:
-    """Extension ablation: vertex coalescing on/off at the propagation
-    site for both interconnects (design-choice study from DESIGN.md)."""
+def sec54_radix_rows(dataset: str = "R14", graph: CSRGraph | None = None,
+                     num_workers: int | None = 1, cache=None) -> list[dict]:
+    """§5.4 radix study: 'a too large radix still encounters design
+    centralization, which degrades the performance'."""
+    outcome = run_sweep(sec54_radix_jobs(dataset, graph),
+                        num_workers=num_workers, cache=cache)
+    return sec54_radix_assemble(outcome)
+
+
+# ----------------------------------------------------------------------
+# Ablation — vertex coalescing
+# ----------------------------------------------------------------------
+
+def combining_ablation_jobs(dataset: str = "R14",
+                            graph: CSRGraph | None = None) -> list[SweepJob]:
     target = _figure_graph(dataset, graph)
     pr = bench_algorithm_entry("PR")
     jobs = []
@@ -143,9 +221,158 @@ def combining_ablation_rows(dataset: str = "R14",
             "HiGraph": higraph(vertex_combining=combining),
             "GraphDynS": graphdyns(vertex_combining=combining),
         })
-    outcome = run_sweep(jobs, num_workers=num_workers, cache=cache)
+    return jobs
+
+
+def combining_ablation_assemble(outcome: SweepOutcome) -> list[dict]:
     return [{
         "design": job.tags["config"],
         "combining": job.config.vertex_combining,
         "gteps": stats.gteps,
     } for job, stats in zip(outcome.jobs, outcome.stats)]
+
+
+def combining_ablation_rows(dataset: str = "R14",
+                            graph: CSRGraph | None = None,
+                            num_workers: int | None = 1, cache=None) -> list[dict]:
+    """Extension ablation: vertex coalescing on/off at the propagation
+    site for both interconnects (design-choice study from DESIGN.md)."""
+    outcome = run_sweep(combining_ablation_jobs(dataset, graph),
+                        num_workers=num_workers, cache=cache)
+    return combining_ablation_assemble(outcome)
+
+
+# ----------------------------------------------------------------------
+# Ablation — trading latency for throughput (§2.2)
+# ----------------------------------------------------------------------
+
+def latency_ablation_jobs(dataset: str = "R14",
+                          graph: CSRGraph | None = None) -> list[SweepJob]:
+    """A latency-bound chain-BFS pair plus a throughput-bound PR pair."""
+    designs = {"HiGraph": higraph(), "GraphDynS": graphdyns()}
+    jobs = plan_jobs(["BFS"], [chain(LATENCY_CHAIN_VERTICES)], designs)
+    jobs += plan_jobs([bench_algorithm_entry("PR")],
+                      [_figure_graph(dataset, graph)], designs)
+    return jobs
+
+
+def latency_ablation_assemble(outcome: SweepOutcome,
+                              dataset: str = "R14") -> list[dict]:
+    rows = []
+    for job, stats in zip(outcome.jobs, outcome.stats):
+        workload = ("chain-BFS (latency-bound)" if job.algorithm == "BFS"
+                    else f"{dataset}-PR (throughput-bound)")
+        rows.append({
+            "workload": workload,
+            "design": job.tags["config"],
+            "cycles": stats.total_cycles,
+            "cycles_per_iteration":
+                stats.total_cycles / max(1, stats.iterations),
+            "gteps": stats.gteps,
+        })
+    return rows
+
+
+def latency_ablation_rows(dataset: str = "R14", graph: CSRGraph | None = None,
+                          num_workers: int | None = 1, cache=None) -> list[dict]:
+    """§2.2 premise probe: the MDP-network's extra stages are exposed on
+    a serial frontier but vanish into a busy pipeline."""
+    outcome = run_sweep(latency_ablation_jobs(dataset, graph),
+                        num_workers=num_workers, cache=cache)
+    return latency_ablation_assemble(outcome, dataset)
+
+
+# ----------------------------------------------------------------------
+# §5.3 Discussion — slicing + double buffering
+# ----------------------------------------------------------------------
+
+def slicing_jobs(dataset: str = "R14", graph: CSRGraph | None = None,
+                 num_slices: int = SLICING_NUM_SLICES,
+                 offchip_bytes_per_cycle: float = SLICING_BYTES_PER_CYCLE
+                 ) -> list[SweepJob]:
+    """One sliced, double-buffered PR run on the sweep engine."""
+    target = _figure_graph(dataset, graph)
+    return [SweepJob(
+        graph=target,
+        algorithm="PR",
+        algorithm_kwargs={"iterations": BENCH_PR_ITERATIONS},
+        config=higraph(),
+        num_slices=num_slices,
+        offchip_bytes_per_cycle=offchip_bytes_per_cycle,
+        tags={"graph": dataset, "algorithm": "PR", "config": "HiGraph"},
+    )]
+
+
+def slicing_assemble(outcome: SweepOutcome) -> list[dict]:
+    """Single-buffer vs double-buffer accounting for the sliced run.
+
+    The raw (unoverlapped) load total is re-derived from the slice edge
+    counts — a partitioning pass over the graph, never a simulation, so
+    a warm cache still assembles with zero simulator invocations.
+    """
+    job, stats = outcome.jobs[0], outcome.stats[0]
+    slices = partition_by_destination(job.resolve_graph(), job.num_slices)
+    total_load = sum(slice_load_cycles(s.num_edges, job.offchip_bytes_per_cycle)
+                     for s in slices) * stats.iterations
+    compute = stats.scatter_cycles + stats.apply_cycles
+    return [{
+        "slices": stats.slices,
+        "compute_cycles": compute,
+        "raw_load_cycles": total_load,
+        "exposed_load_cycles": stats.slice_load_cycles,
+        "single_buffer_total": compute + total_load,
+        "double_buffer_total": stats.total_cycles,
+        "gteps_double_buffered": stats.gteps,
+    }]
+
+
+def slicing_rows(dataset: str = "R14", graph: CSRGraph | None = None,
+                 num_slices: int = SLICING_NUM_SLICES,
+                 offchip_bytes_per_cycle: float = SLICING_BYTES_PER_CYCLE,
+                 num_workers: int | None = 1, cache=None) -> list[dict]:
+    """§5.3: sliced execution with double buffering hides load traffic."""
+    outcome = run_sweep(
+        slicing_jobs(dataset, graph, num_slices, offchip_bytes_per_cycle),
+        num_workers=num_workers, cache=cache)
+    return slicing_assemble(outcome)
+
+
+# ----------------------------------------------------------------------
+# Tables 1 and 2 — pure registry/model lookups (no simulation)
+# ----------------------------------------------------------------------
+
+def table1_config_rows() -> list[dict]:
+    """Table 1: the three designs and their synthesized geometry."""
+    rows = []
+    for name, cfg in paper_configs().items():
+        rows.append({
+            "design": name,
+            "frequency_ghz": cfg.frequency_ghz(),
+            "front_channels": cfg.front_channels,
+            "back_channels": cfg.back_channels,
+            "onchip_memory_mb": cfg.onchip_memory_bytes / 2**20,
+            "offset_site": cfg.offset_site,
+            "edge_site": cfg.edge_site,
+            "propagation_site": cfg.propagation_site,
+        })
+    return rows
+
+
+def table2_dataset_rows() -> list[dict]:
+    """Table 2: paper sizes next to the generated bench-scale stand-ins."""
+    from repro.bench.harness import load_bench_graph
+    rows = []
+    for key in DATASET_ORDER:
+        spec = TABLE2[key]
+        g = load_bench_graph(key)
+        rows.append({
+            "name": key,
+            "paper_vertices": spec.num_vertices,
+            "paper_edges": spec.num_edges,
+            "paper_degree": spec.degree,
+            "bench_scale": bench_scale(key),
+            "bench_vertices": g.num_vertices,
+            "bench_edges": g.num_edges,
+            "bench_degree": round(g.mean_degree, 1),
+        })
+    return rows

@@ -114,6 +114,27 @@ class MatrixResult:
         return rows
 
 
+def matrix_jobs(algorithms=PAPER_ALGORITHMS, datasets=DATASET_ORDER,
+                configs=None, source: int = 0):
+    """The Fig. 8/9 evaluation matrix as a sweep job list."""
+    configs = configs or paper_configs()
+    return plan_jobs(
+        [bench_algorithm_entry(a) for a in algorithms],
+        [bench_graph_spec(ds) for ds in datasets],
+        configs,
+        source=source,
+    )
+
+
+def matrix_from_outcome(outcome) -> MatrixResult:
+    """Index a finished matrix sweep by (algorithm, dataset, config)."""
+    stats: dict[tuple[str, str, str], SimStats] = {}
+    for job, result in zip(outcome.jobs, outcome.stats):
+        tags = job.tags
+        stats[(tags["algorithm"], tags["graph"], tags["config"])] = result
+    return MatrixResult(stats)
+
+
 def run_matrix(algorithms=PAPER_ALGORITHMS, datasets=DATASET_ORDER,
                configs=None, source: int = 0, jobs: int | None = 1,
                cache=None) -> MatrixResult:
@@ -124,19 +145,9 @@ def run_matrix(algorithms=PAPER_ALGORITHMS, datasets=DATASET_ORDER,
     :class:`repro.sweep.ResultCache` or directory path — memoizes every
     cell on disk.  Results are identical regardless of either knob.
     """
-    configs = configs or paper_configs()
-    plan = plan_jobs(
-        [bench_algorithm_entry(a) for a in algorithms],
-        [bench_graph_spec(ds) for ds in datasets],
-        configs,
-        source=source,
-    )
-    outcome = run_sweep(plan, num_workers=jobs, cache=cache)
-    stats: dict[tuple[str, str, str], SimStats] = {}
-    for job, result in zip(outcome.jobs, outcome.stats):
-        tags = job.tags
-        stats[(tags["algorithm"], tags["graph"], tags["config"])] = result
-    return MatrixResult(stats)
+    outcome = run_sweep(matrix_jobs(algorithms, datasets, configs, source),
+                        num_workers=jobs, cache=cache)
+    return matrix_from_outcome(outcome)
 
 
 # ----------------------------------------------------------------------

@@ -1,15 +1,22 @@
 """Consolidated experiment report builder.
 
-Collects the tables the benchmark suite wrote under
-``benchmarks/results/`` into one markdown document — the mechanical
+Collects the tables written under ``benchmarks/results/`` — by the
+benchmark suite or by the cache-driven regeneration pipeline
+(:mod:`repro.bench.regen`) — into one markdown document, the mechanical
 companion to EXPERIMENTS.md (which adds the paper-vs-measured
 commentary).
+
+When a result cache directory is supplied, each section is checked for
+**staleness**: a ``.txt`` older than the newest cache entry predates
+the most recent simulation results, so the report says to regenerate it
+with ``repro report`` instead of silently presenting old numbers.
 """
 
 from __future__ import annotations
 
 import os
 from datetime import date
+from pathlib import Path
 
 #: Section order and titles for the consolidated report.
 REPORT_SECTIONS: tuple[tuple[str, str], ...] = (
@@ -30,6 +37,9 @@ REPORT_SECTIONS: tuple[tuple[str, str], ...] = (
     ("ablation_latency", "Ablation — latency vs throughput"),
 )
 
+#: What the report tells the reader to run for absent/stale sections.
+REGEN_HINT = "regenerate with `repro report`"
+
 
 def collect_results(results_dir: str) -> dict[str, str]:
     """Read every known results table that exists; key -> text."""
@@ -42,10 +52,59 @@ def collect_results(results_dir: str) -> dict[str, str]:
     return found
 
 
+def newest_cache_mtime(cache_dir: str | os.PathLike | None) -> float | None:
+    """Modification time of the youngest result-cache entry, if any.
+
+    Delegates the on-disk layout to :class:`~repro.sweep.cache.
+    ResultCache` so the staleness check can never drift from where the
+    executor actually writes entries.
+    """
+    if cache_dir is None or not Path(cache_dir).is_dir():
+        return None                  # also: don't mkdir a cache as a side effect
+    from repro.sweep.cache import ResultCache
+    entries = ResultCache(cache_dir).entries()
+    return entries[-1].mtime if entries else None
+
+
+def section_status(results_dir: str,
+                   cache_dir: str | os.PathLike | None = None) -> dict[str, str]:
+    """Freshness of every section: ``fresh`` | ``stale`` | ``missing``.
+
+    A section is *stale* when its ``.txt`` is strictly older than the
+    newest entry in the result cache — the table predates simulation
+    results that may have changed it.  Without a cache directory no
+    section can be judged stale.
+    """
+    cache_mtime = newest_cache_mtime(cache_dir)
+    status = {}
+    for key, _title in REPORT_SECTIONS:
+        path = os.path.join(results_dir, f"{key}.txt")
+        try:
+            txt_mtime = os.stat(path).st_mtime
+        except OSError:
+            status[key] = "missing"
+            continue
+        if cache_mtime is not None and txt_mtime < cache_mtime:
+            status[key] = "stale"
+        else:
+            status[key] = "fresh"
+    return status
+
+
 def build_report(results_dir: str, title: str = "HiGraph reproduction — "
-                 "measured results") -> str:
-    """Render the consolidated markdown report."""
+                 "measured results", cache_dir: str | os.PathLike | None = None,
+                 provenance: dict[str, str] | None = None) -> str:
+    """Render the consolidated markdown report.
+
+    ``cache_dir`` enables the per-section staleness check (see
+    :func:`section_status`).  ``provenance`` adds a final section of
+    ``label: value`` lines; callers must pass only run-independent
+    values there so that regenerating from a warm cache reproduces the
+    report byte-for-byte (volatile accounting belongs in the JSON
+    sidecar written by :func:`repro.bench.regen.regenerate`).
+    """
     tables = collect_results(results_dir)
+    status = section_status(results_dir, cache_dir)
     lines = [f"# {title}", "",
              f"Generated {date.today().isoformat()} from `{results_dir}`.",
              ""]
@@ -54,6 +113,10 @@ def build_report(results_dir: str, title: str = "HiGraph reproduction — "
         if key in tables:
             lines.append(f"## {section_title}")
             lines.append("")
+            if status.get(key) == "stale":
+                lines.append(f"*Stale: this table is older than the result "
+                             f"cache — {REGEN_HINT}.*")
+                lines.append("")
             lines.append("```")
             lines.append(tables[key].rstrip("\n"))
             lines.append("```")
@@ -63,15 +126,23 @@ def build_report(results_dir: str, title: str = "HiGraph reproduction — "
     if missing:
         lines.append("## Missing sections")
         lines.append("")
-        lines.append("Run `pytest benchmarks/ --benchmark-only` to produce:")
+        lines.append(f"Not found under `{results_dir}` — {REGEN_HINT} "
+                     "(or run the benchmark suite) to produce:")
         for m in missing:
             lines.append(f"* {m}")
+        lines.append("")
+    if provenance:
+        lines.append("## Provenance")
+        lines.append("")
+        for label, value in provenance.items():
+            lines.append(f"* {label}: {value}")
         lines.append("")
     return "\n".join(lines)
 
 
-def write_report(results_dir: str, output_path: str) -> str:
-    text = build_report(results_dir)
+def write_report(results_dir: str, output_path: str,
+                 cache_dir: str | os.PathLike | None = None) -> str:
+    text = build_report(results_dir, cache_dir=cache_dir)
     with open(output_path, "w", encoding="utf-8") as fh:
         fh.write(text)
     return text

@@ -5,15 +5,22 @@ Commands
 ``simulate``   run one algorithm/dataset on one design (or all three)
 ``sweep``      run a {algorithm x dataset x config} matrix, sharded
                across worker processes with on-disk result caching
+               (``--figure fig8`` runs a paper figure's exact matrix)
+``report``     regenerate figure tables + the consolidated REPORT.md
+               straight from the result cache
+``cache``      result-cache maintenance (``info``, ``gc``)
 ``netlist``    generate an MDP-network and emit structural Verilog
 ``datasets``   print the Table 2 registry and generated stand-in sizes
 ``figure``     regenerate one of the paper's figure data series
 ``frequency``  print the Fig. 4 / MDP timing model for a structure
+
+See ``docs/cli.md`` for copy-paste examples of every subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.accel import graphdyns, higraph, higraph_mini, simulate
@@ -68,6 +75,40 @@ def build_parser() -> argparse.ArgumentParser:
                      help="ignore and bypass the result cache")
     swp.add_argument("--source", type=int, default=0)
     swp.add_argument("--pr-iterations", type=int, default=2)
+    swp.add_argument("--figure", default=None, metavar="NAME",
+                     help="run the exact job matrix behind one paper "
+                          "figure/section alias (fig8, fig10, radix, ...) "
+                          "instead of the --algorithms/--datasets matrix")
+
+    rep = sub.add_parser(
+        "report", help="regenerate figure tables + REPORT.md from the cache")
+    rep.add_argument("--results-dir", default=os.path.join("benchmarks", "results"),
+                     help="where section .txt tables and REPORT.md live")
+    rep.add_argument("--cache-dir", default=None,
+                     help="sweep result cache (warm cache => zero simulation)")
+    rep.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for cache misses "
+                          "(0 = one per CPU, default 1)")
+    rep.add_argument("--section", action="append", default=[], metavar="NAME",
+                     help="section key or figure alias, repeatable "
+                          "(default: every section); see --list-sections")
+    rep.add_argument("--out", default=None,
+                     help="REPORT.md path (default: <results-dir>/REPORT.md)")
+    rep.add_argument("--list-sections", action="store_true",
+                     help="print section keys + figure aliases and exit")
+
+    cch = sub.add_parser("cache", help="result-cache maintenance")
+    cch_sub = cch.add_subparsers(dest="cache_command", required=True)
+    gc = cch_sub.add_parser("gc", help="evict entries beyond an age/size budget")
+    gc.add_argument("--cache-dir", required=True)
+    gc.add_argument("--max-age", default=None, metavar="AGE",
+                    help="drop entries older than AGE: 30m, 12h, 7d or seconds")
+    gc.add_argument("--max-bytes", default=None, metavar="SIZE",
+                    help="shrink the cache to SIZE: 512K, 100M, 2G or bytes")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be removed, touch nothing")
+    info = cch_sub.add_parser("info", help="entry count, size and age span")
+    info.add_argument("--cache-dir", required=True)
 
     net = sub.add_parser("netlist", help="generate an MDP-network")
     net.add_argument("--channels", type=int, default=16)
@@ -96,6 +137,8 @@ def main(argv: list[str] | None = None) -> int:
     handler = {
         "simulate": _cmd_simulate,
         "sweep": _cmd_sweep,
+        "report": _cmd_report,
+        "cache": _cmd_cache,
         "netlist": _cmd_netlist,
         "datasets": _cmd_datasets,
         "figure": _cmd_figure,
@@ -139,6 +182,9 @@ def _parse_axis_value(text: str):
 def _cmd_sweep(args) -> int:
     from repro.bench import bench_graph_spec
     from repro.sweep import GraphSpec, plan_jobs, run_sweep
+
+    if args.figure is not None:
+        return _cmd_sweep_figure(args)
 
     algorithms = []
     for name in args.algorithms.split(","):
@@ -204,6 +250,164 @@ def _cmd_sweep(args) -> int:
           f"cache hits: {outcome.cache_hits} ({hit_pct:.0f}%)  "
           f"workers: {outcome.workers_used}  "
           f"wall: {outcome.wall_seconds:.2f}s")
+    return 0
+
+
+def _cmd_sweep_figure(args) -> int:
+    """``repro sweep --figure fig8``: warm the cache for one figure."""
+    from repro.bench.regen import RegenContext, SECTIONS, resolve_sections
+    from repro.bench import format_table
+
+    # a figure owns its job matrix: refuse (don't silently ignore) the
+    # free-form matrix flags, whose values could not take effect
+    conflicting = [flag for flag, given in (
+        ("--algorithms", args.algorithms != "BFS,SSSP,SSWP,PR"),
+        ("--datasets", args.datasets != "R14"),
+        ("--configs", args.configs != "all"),
+        ("--scale", args.scale is not None),
+        ("--axis", bool(args.axis)),
+        ("--source", args.source != 0),
+        ("--pr-iterations", args.pr_iterations != 2),
+    ) if given]
+    if conflicting:
+        print(f"--figure runs that figure's own job matrix; "
+              f"{', '.join(conflicting)} cannot apply (dataset scale comes "
+              f"from the REPRO_SCALE environment variable)", file=sys.stderr)
+        return 2
+
+    cache = None if args.no_cache else args.cache_dir
+    try:
+        keys = resolve_sections([args.figure])
+        ctx = RegenContext(num_workers=args.jobs, cache=cache)
+        executed = hits = planned = 0
+        for key in keys:
+            spec = SECTIONS[key]
+            rows, acct = spec.build(ctx)
+            print(format_table(
+                rows, columns=list(spec.columns) if spec.columns else None,
+                title=spec.table_title, floatfmt=spec.floatfmt))
+            executed += acct["executed"]
+            hits += acct["cache_hits"]
+            planned += acct["jobs"]
+    except (ReproError, ValueError) as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"figure: {args.figure}  sections: {len(keys)}  jobs: {planned}  "
+          f"executed: {executed}  cache hits: {hits}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.bench.regen import FIGURE_SECTIONS, SECTIONS, regenerate
+
+    if args.list_sections:
+        print("sections (report order):")
+        for key in SECTIONS:
+            print(f"  {key}")
+        print("figure aliases:")
+        for alias, keys in FIGURE_SECTIONS.items():
+            print(f"  {alias:10s} -> {', '.join(keys)}")
+        return 0
+
+    def _progress(record):
+        mode = ("sweep" if record["simulated"] else "model")
+        print(f"  {record['section']:28s} {record['rows']:3d} rows  "
+              f"[{mode}] jobs: {record['jobs']}  hits: {record['cache_hits']}  "
+              f"executed: {record['executed']}  "
+              f"wall: {record['wall_seconds']:.2f}s")
+
+    try:
+        report = regenerate(
+            args.results_dir,
+            sections=args.section or None,
+            num_workers=args.jobs,
+            cache=args.cache_dir,
+            report_path=args.out,
+            progress=_progress,
+        )
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"report regeneration failed: {exc}", file=sys.stderr)
+        return 2
+    hit_pct = (100.0 * report.cache_hits / report.total_jobs
+               if report.total_jobs else 0.0)
+    print(f"sections: {len(report.sections)}  jobs: {report.total_jobs}  "
+          f"cache hits: {report.cache_hits} ({hit_pct:.0f}%)  "
+          f"executed: {report.executed}  wall: {report.wall_seconds:.2f}s")
+    print(f"wrote {report.report_path}")
+    print(f"wrote {report.provenance_path}")
+    return 0
+
+
+#: Suffix multipliers for ``--max-age`` (seconds) and ``--max-bytes``.
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+_SIZE_UNITS = {"b": 1, "k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+
+
+def _parse_suffixed(text: str, units: dict, what: str) -> float:
+    text = text.strip().lower()
+    suffix = text[-1:] if text[-1:] in units else ""
+    number = text[:-1] if suffix else text
+    try:
+        value = float(number)
+    except ValueError:
+        raise ValueError(
+            f"malformed {what} {text!r}; expected NUMBER[{'|'.join(units)}]")
+    if value < 0:
+        raise ValueError(f"{what} must be >= 0, got {text!r}")
+    return value * units[suffix or list(units)[0]]
+
+
+def parse_age_seconds(text: str) -> float:
+    """``30m`` / ``12h`` / ``7d`` / plain seconds -> seconds."""
+    return _parse_suffixed(text, _AGE_UNITS, "age")
+
+
+def parse_size_bytes(text: str) -> int:
+    """``512K`` / ``100M`` / ``2G`` / plain bytes -> bytes."""
+    return int(_parse_suffixed(text, _SIZE_UNITS, "size"))
+
+
+def _cmd_cache(args) -> int:
+    from repro.sweep import ResultCache
+
+    # inspection/GC must not mkdir the cache as a side effect: a typoed
+    # path should be an error, not a fresh empty directory
+    if not os.path.isdir(args.cache_dir):
+        print(f"cache {args.cache_command} failed: no such cache directory: "
+              f"{args.cache_dir}", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "info":
+        entries = cache.entries()
+        total = sum(e.size_bytes for e in entries)
+        print(f"cache: {cache.root}")
+        print(f"entries: {len(entries)}  bytes: {total}")
+        if entries:
+            import time as _time
+            now = _time.time()
+            print(f"oldest: {now - entries[0].mtime:.0f}s  "
+                  f"newest: {now - entries[-1].mtime:.0f}s")
+        return 0
+
+    # gc
+    try:
+        max_age = (parse_age_seconds(args.max_age)
+                   if args.max_age is not None else None)
+        max_bytes = (parse_size_bytes(args.max_bytes)
+                     if args.max_bytes is not None else None)
+    except ValueError as exc:
+        print(f"cache gc failed: {exc}", file=sys.stderr)
+        return 2
+    if max_age is None and max_bytes is None:
+        print("cache gc: nothing to do (give --max-age and/or --max-bytes)",
+              file=sys.stderr)
+        return 2
+    stats = cache.gc(max_age_seconds=max_age, max_bytes=max_bytes,
+                     dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"cache gc: scanned {stats.scanned}  {verb} {stats.removed} "
+          f"({stats.bytes_freed} bytes)  kept {stats.scanned - stats.removed} "
+          f"({stats.bytes_kept} bytes)")
     return 0
 
 

@@ -8,12 +8,13 @@ memoizes results on disk keyed by content, not by name
 (:mod:`repro.sweep.cache`).  See ``docs/sweep.md``.
 """
 
-from repro.sweep.cache import ResultCache, code_version
+from repro.sweep.cache import CacheEntry, GcStats, ResultCache, code_version
 from repro.sweep.executor import (
     SweepOutcome,
     execute_job,
     resolve_workers,
     run_sweep,
+    scheduled_order,
 )
 from repro.sweep.jobs import GraphSpec, SweepJob, graph_fingerprint, plan_jobs
 
@@ -22,10 +23,13 @@ __all__ = [
     "SweepJob",
     "plan_jobs",
     "graph_fingerprint",
+    "CacheEntry",
+    "GcStats",
     "ResultCache",
     "code_version",
     "SweepOutcome",
     "run_sweep",
     "execute_job",
     "resolve_workers",
+    "scheduled_order",
 ]

@@ -25,6 +25,8 @@ import hashlib
 import json
 import os
 import tempfile
+import time
+from dataclasses import dataclass
 from pathlib import Path
 
 import repro
@@ -54,6 +56,26 @@ def code_version() -> str:
             h.update(b"\0")
         _code_version_memo = h.hexdigest()
     return _code_version_memo
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One on-disk result: identity, size and age, no payload."""
+
+    key: str
+    path: Path
+    size_bytes: int
+    mtime: float
+
+
+@dataclass(frozen=True)
+class GcStats:
+    """Outcome of one :meth:`ResultCache.gc` pass."""
+
+    scanned: int
+    removed: int
+    bytes_freed: int
+    bytes_kept: int
 
 
 class ResultCache:
@@ -114,6 +136,84 @@ class ResultCache:
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
+    def entries(self) -> list[CacheEntry]:
+        """Every readable entry, oldest first (entries that vanish
+        mid-scan — a concurrent GC — are skipped, not errors)."""
+        found = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            found.append(CacheEntry(key=path.stem, path=path,
+                                    size_bytes=st.st_size, mtime=st.st_mtime))
+        found.sort(key=lambda e: (e.mtime, e.key))
+        return found
+
+    def total_bytes(self) -> int:
+        return sum(e.size_bytes for e in self.entries())
+
+    def wall_seconds(self, key: str) -> float | None:
+        """Recorded simulation wall time of one entry, if any."""
+        try:
+            with open(self._path(key), encoding="utf-8") as fh:
+                value = json.load(fh).get("provenance", {}).get("wall_seconds")
+            return float(value) if value is not None else None
+        except (OSError, ValueError, TypeError):
+            return None
+
+    def gc(self, max_age_seconds: float | None = None,
+           max_bytes: int | None = None, now: float | None = None,
+           dry_run: bool = False) -> GcStats:
+        """Evict entries beyond an age and/or total-size budget.
+
+        First drops everything older than ``max_age_seconds`` (by entry
+        mtime), then — if the survivors still exceed ``max_bytes`` —
+        drops oldest-first until the cache fits.  ``dry_run`` reports
+        what would be removed without touching disk.  With neither
+        budget set this is a no-op scan.
+        """
+        entries = self.entries()
+        now = time.time() if now is None else now
+        doomed: list[CacheEntry] = []
+        kept: list[CacheEntry] = []
+        for entry in entries:
+            if max_age_seconds is not None and now - entry.mtime > max_age_seconds:
+                doomed.append(entry)
+            else:
+                kept.append(entry)
+        if max_bytes is not None:
+            kept_bytes = sum(e.size_bytes for e in kept)
+            for entry in list(kept):            # oldest first
+                if kept_bytes <= max_bytes:
+                    break
+                kept.remove(entry)
+                doomed.append(entry)
+                kept_bytes -= entry.size_bytes
+        removed = 0
+        freed = 0
+        for entry in doomed:
+            if not dry_run:
+                try:
+                    entry.path.unlink()
+                except OSError:
+                    continue
+            removed += 1
+            freed += entry.size_bytes
+        if not dry_run:
+            self._prune_empty_shards()
+        return GcStats(scanned=len(entries), removed=removed,
+                       bytes_freed=freed,
+                       bytes_kept=sum(e.size_bytes for e in kept))
+
+    def _prune_empty_shards(self) -> None:
+        for shard in self.root.glob("*"):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()            # fails (correctly) if non-empty
+                except OSError:
+                    pass
+
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0
@@ -123,6 +223,7 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        self._prune_empty_shards()
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

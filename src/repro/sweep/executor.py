@@ -15,8 +15,10 @@ given):
    deduplicated so the simulation runs once;
 3. only misses are dispatched to workers, serially when
    ``num_workers == 1`` or when no usable multiprocessing context
-   exists, otherwise via a process pool;
-4. fresh results are written back with provenance before returning.
+   exists, otherwise via a process pool in largest-job-first order
+   (:func:`scheduled_order`) so a skewed matrix keeps the pool busy;
+4. fresh results are written back with provenance — including the
+   per-job simulation wall time — before returning.
 """
 
 from __future__ import annotations
@@ -46,13 +48,37 @@ def execute_job(job: SweepJob) -> SimStats:
         graph = job.resolve_graph()
         if isinstance(job.graph, GraphSpec):
             _GRAPH_MEMO[fp] = graph
-    sim = AcceleratorSim(job.config, graph, job.make_algorithm())
+    if job.num_slices < 1:
+        raise SweepError(f"num_slices must be >= 1, got {job.num_slices}")
+    if job.num_slices > 1:
+        from repro.accel.slicing import SlicedAcceleratorSim
+        from repro.graph.partition import partition_by_destination
+        sim = SlicedAcceleratorSim(
+            job.config, graph, job.make_algorithm(),
+            slices=partition_by_destination(graph, job.num_slices),
+            offchip_bytes_per_cycle=job.offchip_bytes_per_cycle)
+    else:
+        sim = AcceleratorSim(job.config, graph, job.make_algorithm())
     return sim.run(source=job.source, max_iterations=job.max_iterations).stats
 
 
-def _execute_indexed(payload: tuple[int, SweepJob]) -> tuple[int, SimStats]:
+def _execute_indexed(payload: tuple[int, SweepJob]) -> tuple[int, SimStats, float]:
     index, job = payload
-    return index, execute_job(job)
+    t0 = time.perf_counter()
+    stats = execute_job(job)
+    return index, stats, time.perf_counter() - t0
+
+
+def scheduled_order(pending: list[tuple[int, SweepJob]]) -> list[tuple[int, SweepJob]]:
+    """Dispatch order for a worker pool: largest jobs first.
+
+    Sorting by :meth:`SweepJob.cost_hint` (descending, index tie-break)
+    keeps the pool busy at the tail of a skewed matrix — the big R-MAT
+    jobs no longer land on one straggler worker after the small ones
+    drain.  Results are re-ordered by index afterwards, so this changes
+    wall-clock only, never output.
+    """
+    return sorted(pending, key=lambda item: (-item[1].cost_hint(), item[0]))
 
 
 def resolve_workers(num_workers: int | None) -> int:
@@ -75,6 +101,9 @@ class SweepOutcome:
     executed: int = 0
     workers_used: int = 1
     wall_seconds: float = 0.0
+    #: per-job simulation wall time, in job order; 0.0 for cache hits
+    #: and duplicate-key fills (nothing was simulated for them)
+    job_seconds: list[float] = field(default_factory=list)
     extra: dict = field(default_factory=dict)
 
     @property
@@ -137,10 +166,12 @@ def run_sweep(
     done = len(jobs) - len(pending)
     executed = 0
     workers_used = 1 if len(pending) <= 1 else workers
+    job_seconds = [0.0] * len(jobs)
 
-    def _complete(index: int, stats: SimStats) -> None:
+    def _complete(index: int, stats: SimStats, seconds: float) -> None:
         nonlocal done, executed
         results[index] = stats
+        job_seconds[index] = seconds
         executed += 1
         done += 1
         if cache is not None:
@@ -149,6 +180,7 @@ def run_sweep(
                 "job": job.describe(),
                 "tags": {k: repr(v) for k, v in job.tags.items()},
                 "config": job.config.to_dict(),
+                "wall_seconds": round(seconds, 6),
             })
         if progress is not None:
             progress(done, len(jobs), jobs[index])
@@ -168,12 +200,14 @@ def run_sweep(
     # propagate instead of silently re-running everything in-process
     if pool is not None:
         with pool:
-            for index, stats in pool.imap_unordered(
-                    _execute_indexed, pending, chunksize=1):
-                _complete(index, stats)
+            for index, stats, seconds in pool.imap_unordered(
+                    _execute_indexed, scheduled_order(pending), chunksize=1):
+                _complete(index, stats, seconds)
     else:
         for index, job in pending:
-            _complete(index, execute_job(job))
+            t0 = time.perf_counter()
+            stats = execute_job(job)
+            _complete(index, stats, time.perf_counter() - t0)
 
     # fill duplicate-key jobs from their owner's result
     if cache is not None:
@@ -196,4 +230,5 @@ def run_sweep(
         executed=executed,
         workers_used=workers_used,
         wall_seconds=time.monotonic() - start,
+        job_seconds=job_seconds,
     )

@@ -25,7 +25,7 @@ from repro.accel.config import AcceleratorConfig
 from repro.algorithms import make_algorithm
 from repro.errors import SweepError
 from repro.graph.csr import CSRGraph
-from repro.graph.datasets import load
+from repro.graph.datasets import TABLE2, load
 
 
 @dataclass(frozen=True)
@@ -64,6 +64,12 @@ class SweepJob:
     algorithm_kwargs: dict[str, Any] = field(default_factory=dict)
     source: int = 0
     max_iterations: int | None = None
+    #: large-graph mode (§5.3): > 1 partitions the graph into that many
+    #: destination intervals and runs the double-buffered sliced simulator
+    num_slices: int = 1
+    #: off-chip bandwidth for slice replacement, bytes per cycle (sliced
+    #: mode only; ignored when ``num_slices == 1``)
+    offchip_bytes_per_cycle: float = 64.0
     #: caller-owned labels (dataset key, config name, swept-axis values ...)
     tags: dict[str, Any] = field(default_factory=dict)
 
@@ -91,9 +97,31 @@ class SweepJob:
             "config": self.config.config_hash(),
             "source": self.source,
             "max_iterations": self.max_iterations,
+            "num_slices": self.num_slices,
+            "offchip_bytes_per_cycle":
+                self.offchip_bytes_per_cycle if self.num_slices > 1 else None,
             "code": code_version,
         }, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def cost_hint(self) -> float:
+        """Relative cost estimate (edges to traverse) for scheduling.
+
+        Pool utilization on a skewed matrix improves when the largest
+        jobs start first; this hint orders them without simulating.
+        Symbolic specs estimate from the Table 2 registry sizes, inline
+        graphs report their real edge count.  Only the *relative* order
+        matters, so unknown keys degrade to "cheap", never to an error.
+        """
+        if isinstance(self.graph, GraphSpec):
+            spec = TABLE2.get(self.graph.key)
+            edges = spec.num_edges * self.graph.scale if spec else 1.0
+        else:
+            edges = float(self.graph.num_edges)
+        if self.algorithm.upper() in ("PR", "PAGERANK"):
+            # all-active iterations re-traverse every edge
+            edges *= self.algorithm_kwargs.get("iterations", 2) or 1
+        return edges
 
     def describe(self) -> str:
         graph = (self.graph.key if isinstance(self.graph, GraphSpec)

@@ -127,3 +127,149 @@ class TestSweepCommand:
     def test_malformed_axis_fails_cleanly(self, capsys):
         assert main(["sweep", "--datasets", "VT", "--axis", "fifo_depth"]) == 2
         assert "--axis expects" in capsys.readouterr().err
+
+
+class TestSweepFigure:
+    def test_figure_runs_pure_section(self, capsys):
+        # fig4 comes from the timing model: no sweep jobs, no cache needed
+        assert main(["sweep", "--figure", "fig4", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4: frequency vs crossbar ports" in out
+        assert "jobs: 0" in out
+
+    def test_figure_warms_cache(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        argv = ["sweep", "--figure", "latency", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "executed: 4" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "executed: 0" in warm
+        assert "cache hits: 4" in warm
+
+    def test_unknown_figure_fails_cleanly(self, capsys):
+        assert main(["sweep", "--figure", "fig99"]) == 2
+        assert "unknown report section" in capsys.readouterr().err
+
+    def test_figure_refuses_matrix_flags(self, capsys):
+        assert main(["sweep", "--figure", "fig4", "--scale", "0.03",
+                     "--datasets", "VT"]) == 2
+        err = capsys.readouterr().err
+        assert "--scale" in err and "--datasets" in err
+        assert "REPRO_SCALE" in err
+
+
+class TestReportCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.results_dir.endswith("results")
+        assert args.cache_dir is None
+        assert args.jobs == 1
+        assert args.section == []
+
+    def test_list_sections(self, capsys):
+        assert main(["report", "--list-sections"]) == 0
+        out = capsys.readouterr().out
+        assert "table1_configs" in out
+        assert "fig10" in out
+
+    def test_pure_sections_end_to_end(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        assert main(["report", "--results-dir", str(results),
+                     "--section", "table1", "--section", "fig4",
+                     "--section", "area"]) == 0
+        out = capsys.readouterr().out
+        assert "sections: 3" in out
+        assert (results / "REPORT.md").exists()
+        assert (results / "REPORT.provenance.json").exists()
+        assert (results / "table1_configs.txt").exists()
+        text = (results / "REPORT.md").read_text()
+        assert "Table 1 — configurations" in text
+        assert "## Provenance" in text
+
+    def test_unknown_section_fails_cleanly(self, tmp_path, capsys):
+        assert main(["report", "--results-dir", str(tmp_path),
+                     "--section", "nope"]) == 2
+        assert "unknown report section" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def _warm(self, tmp_path):
+        assert main(["sweep", "--datasets", "VT", "--scale", "0.03",
+                     "--algorithms", "BFS", "--configs", "higraph",
+                     "--cache-dir", str(tmp_path)]) == 0
+
+    def test_info(self, tmp_path, capsys):
+        self._warm(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+
+    def test_gc_requires_a_budget(self, tmp_path, capsys):
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_nonexistent_cache_dir_is_an_error_not_a_mkdir(self, tmp_path, capsys):
+        missing = tmp_path / "typoed-cahe"
+        assert main(["cache", "info", "--cache-dir", str(missing)]) == 2
+        assert "no such cache directory" in capsys.readouterr().err
+        assert not missing.exists()
+        assert main(["cache", "gc", "--cache-dir", str(missing),
+                     "--max-age", "1d"]) == 2
+        assert "no such cache directory" in capsys.readouterr().err
+        assert not missing.exists()
+
+    def test_gc_by_age_and_size_units(self, tmp_path, capsys):
+        self._warm(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--max-age", "7d", "--max-bytes", "1G"]) == 0
+        assert "removed 0" in capsys.readouterr().out
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--max-age", "0s"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_gc_dry_run(self, tmp_path, capsys):
+        self._warm(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--max-bytes", "0", "--dry-run"]) == 0
+        assert "would remove 1" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries: 1" in capsys.readouterr().out
+
+    def test_malformed_budgets_fail_cleanly(self, tmp_path, capsys):
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--max-age", "sevendays"]) == 2
+        assert "malformed age" in capsys.readouterr().err
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--max-bytes", "-1"]) == 2
+        assert "size must be >= 0" in capsys.readouterr().err
+
+
+class TestBudgetParsers:
+    def test_age_units(self):
+        from repro.cli import parse_age_seconds
+        assert parse_age_seconds("90") == 90
+        assert parse_age_seconds("90s") == 90
+        assert parse_age_seconds("2m") == 120
+        assert parse_age_seconds("2h") == 7200
+        assert parse_age_seconds("1d") == 86400
+        assert parse_age_seconds("1w") == 604800
+
+    def test_size_units(self):
+        from repro.cli import parse_size_bytes
+        assert parse_size_bytes("1024") == 1024
+        assert parse_size_bytes("2K") == 2048
+        assert parse_size_bytes("3M") == 3 * 1024**2
+        assert parse_size_bytes("1G") == 1024**3
+
+    def test_rejects_garbage(self):
+        import pytest as _pytest
+        from repro.cli import parse_age_seconds, parse_size_bytes
+        with _pytest.raises(ValueError):
+            parse_age_seconds("x7d")
+        with _pytest.raises(ValueError):
+            parse_size_bytes("")

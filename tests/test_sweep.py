@@ -17,6 +17,7 @@ from repro.sweep import (
     plan_jobs,
     resolve_workers,
     run_sweep,
+    scheduled_order,
 )
 
 SMALL = GraphSpec("VT", scale=0.03)
@@ -262,3 +263,155 @@ class TestExecutor:
         outcome = run_sweep(_jobs(), num_workers=1, cache=None)
         assert outcome.executed == 4
         assert outcome.cache_hits == 0
+
+    def test_job_seconds_recorded_for_executed_only(self, tmp_path):
+        jobs = _jobs()
+        cold = run_sweep(jobs, num_workers=1, cache=tmp_path / "cache")
+        assert len(cold.job_seconds) == 4
+        assert all(s > 0 for s in cold.job_seconds)
+        warm = run_sweep(jobs, num_workers=1, cache=tmp_path / "cache")
+        assert warm.job_seconds == [0.0] * 4
+
+    def test_wall_seconds_in_cache_provenance(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = _jobs()[:1]
+        run_sweep(jobs, num_workers=1, cache=cache)
+        key = jobs[0].cache_key(code_version())
+        payload = json.loads(cache._path(key).read_text())
+        assert payload["provenance"]["wall_seconds"] > 0
+        assert cache.wall_seconds(key) == payload["provenance"]["wall_seconds"]
+        assert cache.wall_seconds("f" * 64) is None
+
+    def test_scheduled_order_is_largest_first_and_deterministic(self):
+        jobs = plan_jobs(["BFS"],
+                         [GraphSpec("VT", 0.03), GraphSpec("R16", 0.03),
+                          GraphSpec("R14", 0.03)],
+                         {"HiGraph": higraph()})
+        pending = list(enumerate(jobs))
+        order = [job.tags["graph"] for _i, job in scheduled_order(pending)]
+        assert order == ["R16", "R14", "VT"]   # by registry edge count
+        assert scheduled_order(pending) == scheduled_order(pending)
+
+    def test_pr_jobs_cost_more_than_bfs_on_same_graph(self):
+        bfs, pr = plan_jobs(["BFS", ("PR", {"iterations": 2})], [SMALL],
+                            {"HiGraph": higraph()})
+        assert pr.cost_hint() > bfs.cost_hint()
+
+
+# ----------------------------------------------------------------------
+# Sliced jobs (§5.3 on the sweep engine)
+# ----------------------------------------------------------------------
+
+class TestSlicedJobs:
+    def test_sliced_job_matches_direct_sliced_simulation(self, tiny_graph):
+        from repro.accel import SlicedAcceleratorSim
+        from repro.algorithms import make_algorithm
+        from repro.graph import partition_by_destination
+
+        job = SweepJob(graph=tiny_graph, algorithm="PR",
+                       algorithm_kwargs={"iterations": 2}, config=higraph(),
+                       num_slices=2, offchip_bytes_per_cycle=64.0)
+        got = execute_job(job)
+        sim = SlicedAcceleratorSim(
+            higraph(), tiny_graph, make_algorithm("PR", iterations=2),
+            slices=partition_by_destination(tiny_graph, 2),
+            offchip_bytes_per_cycle=64.0)
+        assert got.to_dict() == sim.run().stats.to_dict()
+        assert got.slices == 2
+
+    def test_slicing_changes_cache_key(self):
+        version = code_version()
+        plain = SweepJob(graph=SMALL, algorithm="PR", config=higraph())
+        sliced = SweepJob(graph=SMALL, algorithm="PR", config=higraph(),
+                          num_slices=4)
+        assert plain.cache_key(version) != sliced.cache_key(version)
+        # bandwidth only matters once slicing is on
+        other_bw = SweepJob(graph=SMALL, algorithm="PR", config=higraph(),
+                            offchip_bytes_per_cycle=128.0)
+        assert plain.cache_key(version) == other_bw.cache_key(version)
+        sliced_bw = SweepJob(graph=SMALL, algorithm="PR", config=higraph(),
+                             num_slices=4, offchip_bytes_per_cycle=128.0)
+        assert sliced.cache_key(version) != sliced_bw.cache_key(version)
+
+    def test_invalid_slice_count_rejected(self, tiny_graph):
+        job = SweepJob(graph=tiny_graph, algorithm="PR", config=higraph(),
+                       num_slices=0)
+        with pytest.raises(SweepError):
+            execute_job(job)
+
+    def test_sliced_job_round_trips_through_cache(self, tmp_path, tiny_graph):
+        job = SweepJob(graph=tiny_graph, algorithm="PR",
+                       algorithm_kwargs={"iterations": 2}, config=higraph(),
+                       num_slices=2)
+        cold = run_sweep([job], num_workers=1, cache=tmp_path / "c")
+        warm = run_sweep([job], num_workers=1, cache=tmp_path / "c")
+        assert warm.executed == 0
+        assert warm.stats[0].to_dict() == cold.stats[0].to_dict()
+
+
+# ----------------------------------------------------------------------
+# Cache GC
+# ----------------------------------------------------------------------
+
+class TestCacheGc:
+    def _fill(self, tmp_path, count=3):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = _jobs()[:count]
+        run_sweep(jobs, num_workers=1, cache=cache)
+        return cache
+
+    def test_entries_oldest_first(self, tmp_path):
+        cache = self._fill(tmp_path, 3)
+        entries = cache.entries()
+        assert len(entries) == 3
+        assert [e.mtime for e in entries] == sorted(e.mtime for e in entries)
+        assert cache.total_bytes() == sum(e.size_bytes for e in entries)
+
+    def test_gc_without_budgets_is_a_noop(self, tmp_path):
+        cache = self._fill(tmp_path, 2)
+        stats = cache.gc()
+        assert (stats.scanned, stats.removed) == (2, 0)
+        assert len(cache) == 2
+
+    def test_gc_by_age_removes_only_old_entries(self, tmp_path):
+        import os as _os
+        cache = self._fill(tmp_path, 3)
+        old = cache.entries()[0]
+        _os.utime(old.path, (1.0, 1.0))
+        stats = cache.gc(max_age_seconds=3600)
+        assert stats.removed == 1
+        assert stats.bytes_freed == old.size_bytes
+        assert len(cache) == 2
+        assert not old.path.exists()
+
+    def test_gc_by_bytes_evicts_oldest_first(self, tmp_path):
+        import os as _os
+        cache = self._fill(tmp_path, 3)
+        entries = cache.entries()
+        # force a deterministic age order
+        for rank, entry in enumerate(entries):
+            _os.utime(entry.path, (100.0 + rank, 100.0 + rank))
+        entries = cache.entries()
+        keep_budget = entries[-1].size_bytes + entries[-2].size_bytes
+        stats = cache.gc(max_bytes=keep_budget)
+        assert stats.removed == 1
+        survivors = {e.key for e in cache.entries()}
+        assert survivors == {entries[-1].key, entries[-2].key}
+
+    def test_gc_dry_run_touches_nothing(self, tmp_path):
+        cache = self._fill(tmp_path, 2)
+        stats = cache.gc(max_bytes=0, dry_run=True)
+        assert stats.removed == 2
+        assert len(cache) == 2
+
+    def test_gc_prunes_empty_shard_dirs(self, tmp_path):
+        cache = self._fill(tmp_path, 2)
+        cache.gc(max_bytes=0)
+        assert len(cache) == 0
+        assert not any(p.is_dir() for p in cache.root.glob("*"))
+
+    def test_gc_result_reusable_after_eviction(self, tmp_path):
+        cache = self._fill(tmp_path, 2)
+        cache.gc(max_bytes=0)
+        outcome = run_sweep(_jobs()[:2], num_workers=1, cache=cache)
+        assert outcome.executed == 2     # re-simulated after eviction
