@@ -2,13 +2,17 @@
 
 The Fig. 8 and Fig. 9 benches share one expensive evaluation matrix
 (4 algorithms x 6 datasets x 3 designs); it is computed once per
-session on the sweep engine.  Two environment variables tune how it
-runs — the numbers are identical either way:
+session on the sweep engine.  Three environment variables tune how it
+runs — the numbers are identical in every case:
 
-* ``REPRO_JOBS``       worker processes (default 1 = serial, 0 = one
-                       per CPU);
+* ``REPRO_JOBS``       worker processes (default 0 = one per CPU;
+                       set 1 to force serial execution);
 * ``REPRO_CACHE_DIR``  sweep result cache directory (default: no
-                       cache, always simulate).
+                       cache, always simulate);
+* ``REPRO_ENGINE``     scatter engine, ``batched`` (default) or
+                       ``reference`` — the engines are cycle-exact
+                       equivalents, so this only changes wall-clock
+                       (see docs/performance.md).
 
 Every bench writes its rendered table under ``benchmarks/results/`` so
 the numbers survive the pytest run.  A cache warmed here (set
@@ -33,7 +37,12 @@ def results_dir():
 
 
 def _env_jobs() -> int:
-    return int(os.environ.get("REPRO_JOBS", "1"))
+    """Worker processes for sweep-backed benches (0 = one per CPU).
+
+    The default went serial -> per-CPU once the executor's scheduling
+    and caching had soaked; results are identical regardless.
+    """
+    return int(os.environ.get("REPRO_JOBS", "0"))
 
 
 def _env_cache():

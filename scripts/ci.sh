@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 tests, a parallel smoke sweep, a cold/warm
-# report regeneration check, and a docs-vs-CLI consistency check.
+# CI entry point: tier-1 tests (including the engine differential
+# suite), a parallel smoke sweep, a cold/warm report regeneration
+# check, an engine perf-probe smoke, and a docs-vs-CLI consistency
+# check.
 #
 # The smoke sweep exercises the multiprocessing executor and the result
 # cache on a tiny generated graph (VT stand-in at 3% scale): a cold
@@ -10,12 +12,17 @@
 # The report smoke does the same for the regeneration pipeline: a warm
 # `repro report` must execute zero simulations and reproduce REPORT.md
 # byte-for-byte.
+#
+# The perf-probe smoke times reference vs batched on a tiny matrix and
+# appends a BENCH JSON record; it asserts the engines stayed
+# cycle-exact (stats_identical) but no speedup floor — CI runners are
+# too noisy for that (see docs/performance.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1 tests =="
+echo "== tier-1 tests (includes tests/test_engine_differential.py) =="
 python -m pytest -x -q
 
 echo "== docs check (docs/cli.md vs repro --help) =="
@@ -53,5 +60,13 @@ REPRO_SCALE=0.03 python -m repro report --results-dir "$REPORT_DIR" \
 grep -Eq "^sections: .*cache hits: 20 \(100%\)  executed: 0  " \
     /tmp/ci-report-warm.txt
 cmp /tmp/ci-report-cold.md "$REPORT_DIR/REPORT.md"
+
+echo "== engine perf probe (quick: BENCH record + cycle-exactness) =="
+BENCH_FILE="$(mktemp)"
+python scripts/perf_probe.py --quick --out "$BENCH_FILE" \
+    | tee /tmp/ci-perf-probe.txt
+grep -q '"bench": "fig8_cold_sweep"' "$BENCH_FILE"
+grep -q '"stats_identical": true' "$BENCH_FILE"
+rm -f "$BENCH_FILE"
 
 echo "CI OK"

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Cold-sweep engine benchmark: reference vs batched, one BENCH record.
+
+Times the Fig. 8 evaluation matrix (algorithms x datasets x the three
+Table 1 designs) **cold** — no result cache, every job simulated — once
+per scatter engine, and appends one JSON line to the benchmark history
+file.  This is the perf trajectory's seed: each run adds a record, so
+``benchmarks/results/bench_history.jsonl`` accumulates the engine
+speedup over time (see docs/performance.md for how to read it).
+
+Methodology
+-----------
+* graphs are resolved once up front (the worker memo a sweep would use),
+  so generation time never pollutes either engine's number;
+* jobs run serially, in-process, **paired** — reference then batched per
+  job, adjacent in time — so slow drift in machine load biases both
+  engines equally; per-job pairs also yield a drift-robust median;
+* every pair's ``SimStats`` are compared: the probe doubles as a
+  differential check and records ``stats_identical`` in the BENCH line.
+
+Usage::
+
+    python scripts/perf_probe.py                 # full fig8 matrix
+    python scripts/perf_probe.py --quick         # CI smoke (seconds)
+    python scripts/perf_probe.py --require-speedup 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..", "benchmarks",
+                           "results", "bench_history.jsonl")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--datasets", default=None,
+                        help="comma-separated Table 2 keys "
+                             "(default: the full fig8 roster)")
+    parser.add_argument("--algorithms", default=None,
+                        help="comma-separated algorithms "
+                             "(default: BFS,SSSP,SSWP,PR)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="override dataset scale (sets REPRO_SCALE; "
+                             "default: the bench scales)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: VT at 3%% scale, BFS+PR only")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="BENCH history file to append to "
+                             "(default: benchmarks/results/bench_history.jsonl)")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        metavar="X",
+                        help="exit non-zero unless the recorded speedup >= X")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.quick:
+        args.datasets = args.datasets or "VT"
+        args.algorithms = args.algorithms or "BFS,PR"
+        if args.scale is None:
+            args.scale = 0.03
+    if args.scale is not None:
+        os.environ["REPRO_SCALE"] = str(args.scale)
+
+    from repro.accel.engine import engine_cache_token
+    from repro.bench.harness import bench_scale, matrix_jobs
+    from repro.graph import DATASET_ORDER
+    from repro.sweep.executor import _GRAPH_MEMO, execute_job
+    from repro.sweep.jobs import graph_fingerprint
+
+    datasets = ([d.strip().upper() for d in args.datasets.split(",")]
+                if args.datasets else list(DATASET_ORDER))
+    algorithms = ([a.strip().upper() for a in args.algorithms.split(",")]
+                  if args.algorithms else ("BFS", "SSSP", "SSWP", "PR"))
+    jobs = matrix_jobs(algorithms=algorithms, datasets=datasets)
+
+    # resolve every graph once, outside the timed region
+    for job in jobs:
+        fingerprint = graph_fingerprint(job.graph)
+        if fingerprint not in _GRAPH_MEMO:
+            _GRAPH_MEMO[fingerprint] = job.resolve_graph()
+
+    totals = {"reference": 0.0, "batched": 0.0}
+    ratios = []
+    identical = True
+    for job in jobs:
+        seconds = {}
+        stats = {}
+        for engine in ("reference", "batched"):      # paired, adjacent
+            job.engine = engine
+            t0 = time.perf_counter()
+            stats[engine] = execute_job(job)
+            seconds[engine] = time.perf_counter() - t0
+            totals[engine] += seconds[engine]
+        if stats["reference"].to_dict() != stats["batched"].to_dict():
+            identical = False
+            print(f"WARNING: SimStats diverge on {job.describe()}",
+                  file=sys.stderr)
+        ratios.append(seconds["reference"] / seconds["batched"])
+        print(f"  {job.describe():28s} ref={seconds['reference']:7.3f}s "
+              f"bat={seconds['batched']:7.3f}s  {ratios[-1]:5.2f}x")
+
+    ratios.sort()
+    speedup = totals["reference"] / totals["batched"]
+    record = {
+        "bench": "fig8_cold_sweep",
+        "utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "datasets": datasets,
+        "algorithms": list(algorithms),
+        "scales": {d: bench_scale(d) for d in datasets},
+        "jobs": len(jobs),
+        "reference_seconds": round(totals["reference"], 3),
+        "batched_seconds": round(totals["batched"], 3),
+        "speedup": round(speedup, 3),
+        "median_job_speedup": round(ratios[len(ratios) // 2], 3),
+        "stats_identical": identical,
+        "engine_equivalence_class": engine_cache_token("batched"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+    with open(args.out, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    print("BENCH " + json.dumps(record, sort_keys=True))
+    print(f"wrote {args.out}")
+
+    if not identical:
+        print("FAIL: engines disagree — equivalence contract broken",
+              file=sys.stderr)
+        return 1
+    if args.require_speedup is not None and speedup < args.require_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below required "
+              f"{args.require_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

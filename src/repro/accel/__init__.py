@@ -1,6 +1,13 @@
 """Accelerator simulators: HiGraph, HiGraph-mini, GraphDynS, ablations."""
 
 from repro.accel.accelerator import AcceleratorSim, SimResult, simulate
+from repro.accel.engine import (
+    DEFAULT_ENGINE,
+    ENGINE_ENV_VAR,
+    ENGINES,
+    engine_cache_token,
+    resolve_engine,
+)
 from repro.accel.config import (
     DESIGN_ID_BITS,
     DESIGN_MAX_EDGES,
@@ -20,6 +27,11 @@ __all__ = [
     "AcceleratorSim",
     "SimResult",
     "simulate",
+    "ENGINES",
+    "DEFAULT_ENGINE",
+    "ENGINE_ENV_VAR",
+    "resolve_engine",
+    "engine_cache_token",
     "AcceleratorConfig",
     "higraph",
     "higraph_mini",

@@ -1,14 +1,15 @@
 """Cycle-level accelerator simulator: scatter/apply orchestration (Fig. 6).
 
-One :class:`AcceleratorSim` wires the three conflict-site
-implementations selected by the configuration and executes the VCPM
-iteration loop:
+One :class:`AcceleratorSim` executes the VCPM iteration loop:
 
 * **Scatter**: ActiveVertex parts -> offset access (site ①) ->
   ``{Off, Len}`` requests -> edge access (site ②) -> ePEs
   (``Process_Edge``) -> dataflow propagation (site ③) -> vPEs
   (``Reduce`` into tProperty banks).  Simulated cycle by cycle,
   sink-to-source, with every queue capacity and bank port enforced.
+  The cycle loop itself is pluggable — see :mod:`repro.accel.engine`
+  for the ``reference`` (golden) and ``batched`` (fast, cycle-exact)
+  scatter engines.
 * **Apply**: a vectorized pass over the Property Array
   (``ceil(V / m)`` cycles — m-parallel streaming), which also builds
   the next iteration's ActiveVertex parts (round-robin in activation
@@ -22,21 +23,16 @@ paper measures.
 
 from __future__ import annotations
 
-import math
-from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.accel.backend import make_propagation, make_vertex_combiner
 from repro.accel.config import AcceleratorConfig
-from repro.accel.edge_access import make_edge_stage
-from repro.accel.frontend import make_frontend
+from repro.accel.engine import make_engine, resolve_engine
 from repro.accel.stats import SimStats
 from repro.algorithms.base import Algorithm
 from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
-from repro.hw.fifo import Fifo
 
 #: Streaming latency constant added per apply pass (pipeline fill/drain).
 APPLY_PIPELINE_LATENCY = 4
@@ -55,10 +51,18 @@ class SimResult:
 
 
 class AcceleratorSim:
-    """Simulates one accelerator configuration on one graph + algorithm."""
+    """Simulates one accelerator configuration on one graph + algorithm.
+
+    ``engine`` selects the scatter-phase implementation (``reference``
+    or ``batched``; default: ``$REPRO_ENGINE``, then the package
+    default).  Both engines produce identical :class:`SimStats`.
+    Pipeline tracing samples live component state, which only the
+    reference engine has, so a ``tracer`` forces (and requires) it.
+    """
 
     def __init__(self, config: AcceleratorConfig, graph: CSRGraph,
-                 algorithm: Algorithm, tracer=None) -> None:
+                 algorithm: Algorithm, tracer=None,
+                 engine: str | None = None) -> None:
         algorithm.validate_graph(graph)
         self.config = config
         self.graph = graph
@@ -70,15 +74,16 @@ class AcceleratorSim:
         self._dst = graph.dst.tolist()
         self._weights = graph.weights.tolist()
 
-        n, m = config.front_channels, config.back_channels
-        self.frontend = make_frontend(config, graph.offsets)
-        self.edge_stage = make_edge_stage(config, self._dst, self._weights)
-        combine_fn = (make_vertex_combiner(algorithm.reduce)
-                      if config.vertex_combining else None)
-        self.propagation = make_propagation(config, combine_fn)
-        self.active_parts: list[deque] = [deque() for _ in range(n)]
-        self.fe_out = [Fifo(config.fe_out_depth) for _ in range(n)]
-        self.epe_in: list[deque] = [deque() for _ in range(m)]
+        if tracer is not None:
+            if engine is not None and resolve_engine(engine) != "reference":
+                raise SimulationError(
+                    "pipeline tracing samples live component queues, which "
+                    "only the reference engine has; drop the tracer or pass "
+                    "engine='reference'")
+            self.engine_name = "reference"
+        else:
+            self.engine_name = resolve_engine(engine)
+        self.engine = make_engine(self.engine_name, self)
 
     # ------------------------------------------------------------------
     def run(self, source: int = 0, max_iterations: int | None = None) -> SimResult:
@@ -115,77 +120,19 @@ class AcceleratorSim:
             active = np.nonzero(changed)[0].astype(np.int64)
             iteration += 1
 
-        self._harvest_site_stats(stats)
+        self.engine.harvest(stats)
         return SimResult(stats, prop)
 
     # ------------------------------------------------------------------
     def _scatter(self, active: np.ndarray, sprop_all: np.ndarray,
                  tprop: list, stats: SimStats) -> None:
-        """Simulate one scatter phase cycle by cycle."""
-        cfg = self.config
-        n, m = cfg.front_channels, cfg.back_channels
-        parts, fe_out, epe_in = self.active_parts, self.fe_out, self.epe_in
-        frontend, edge_stage, propagation = (self.frontend, self.edge_stage,
-                                             self.propagation)
-        reduce_fn = self.algorithm.reduce
-        process_fn = self.algorithm.process_edge
-
-        sprops = sprop_all[active].tolist()
-        actives = active.tolist()
-        for i, (u, sp) in enumerate(zip(actives, sprops)):
-            parts[i % n].append((u, sp))
-
-        expected = int(self.out_degree[active].sum())
-        fe_pending = len(actives)
-        reduces = 0
-        cycles = 0
-        starved = 0
-        limit = 4 * expected + 8 * fe_pending + 10_000
-
-        while fe_pending > 0 or reduces < expected:
-            cycles += 1
-            if cycles > limit:
-                raise SimulationError(
-                    f"scatter did not converge within {limit} cycles "
-                    f"({reduces}/{expected} reduces, {fe_pending} vertices "
-                    f"pending) — queue sizing bug?")
-            # 1. propagation delivers; vPEs reduce into tProperty banks.
-            #    A record is (v, imm, count): `count` edges may have been
-            #    coalesced into it on the way here.
-            delivered = propagation.tick_deliver()
-            for _, (dv, imm, cnt) in delivered:
-                tprop[dv] = reduce_fn(tprop[dv], imm)
-                reduces += cnt
-            got = len(delivered)
-            starved += m - got
-            stats.vpe_busy_cycles += got
-            # 2. ePEs: Process_Edge, one record per channel per cycle
-            for k in range(m):
-                q = epe_in[k]
-                if q:
-                    dstv, w, sp = q[0]
-                    if propagation.offer(k, dstv % m,
-                                         (dstv, process_fn(sp, w), 1)):
-                        q.popleft()
-            # 3. Edge Array access (site ②)
-            edge_stage.tick(fe_out, epe_in)
-            # 4. Offset Array access + ActiveVertex fetch (site ①)
-            fe_pending -= frontend.tick(parts, fe_out)
-            if self.tracer is not None:
-                self.tracer.sample(self, cycles, got)
-
-        stats.scatter_cycles += cycles
-        stats.vpe_starvation_cycles += starved
-        stats.edges_processed += reduces
-
-    # ------------------------------------------------------------------
-    def _harvest_site_stats(self, stats: SimStats) -> None:
-        stats.offset_deferrals = self.frontend.deferrals
-        stats.edge_conflicts = self.edge_stage.conflicts
-        stats.propagation_conflicts = self.propagation.conflicts
+        """Simulate one scatter phase (delegates to the selected engine)."""
+        self.engine.scatter(active, sprop_all, tprop, stats)
 
 
 def simulate(config: AcceleratorConfig, graph: CSRGraph, algorithm: Algorithm,
-             source: int = 0, max_iterations: int | None = None) -> SimResult:
+             source: int = 0, max_iterations: int | None = None,
+             engine: str | None = None) -> SimResult:
     """One-shot convenience wrapper: build the simulator and run it."""
-    return AcceleratorSim(config, graph, algorithm).run(source, max_iterations)
+    return AcceleratorSim(config, graph, algorithm,
+                          engine=engine).run(source, max_iterations)

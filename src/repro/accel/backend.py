@@ -18,20 +18,11 @@ from repro.accel.config import AcceleratorConfig
 from repro.hw.crossbar import ArbitratedCrossbar
 from repro.mdp.network import MdpNetworkSim
 
-_ALL_READY: dict[int, list[bool]] = {}
-_UNIT_BUDGET: dict[int, list[int]] = {}
-
-
-def _all_ready(m: int) -> list[bool]:
-    if m not in _ALL_READY:
-        _ALL_READY[m] = [True] * m
-    return _ALL_READY[m]
-
-
-def _unit_budget(m: int) -> list[int]:
-    if m not in _UNIT_BUDGET:
-        _UNIT_BUDGET[m] = [1] * m
-    return _UNIT_BUDGET[m]
+# The always-ready sink vector and the unit acceptance budget are
+# per-instance immutable tuples.  They used to be module-level shared
+# *mutable* lists keyed by m — any consumer mutation (or future
+# threaded use) would have corrupted every other live simulator with
+# the same back-end width.
 
 
 class MdpPropagation:
@@ -46,9 +37,12 @@ class MdpPropagation:
         self.m = config.back_channels
         self.net = MdpNetworkSim(self.m, config.radix, config.fifo_depth,
                                  combine_fn=combine_fn)
+        #: per-instance, immutable: the vPEs always consume (Reduce is
+        #: single-cycle into a private bank)
+        self.sink_ready = (True,) * self.m
 
     def tick_deliver(self):
-        delivered = self.net.deliver(_all_ready(self.m))
+        delivered = self.net.deliver(self.sink_ready)
         self.net.advance()
         return delivered
 
@@ -83,9 +77,11 @@ class CrossbarPropagation:
         self.m = config.back_channels
         self.xbar = ArbitratedCrossbar(self.m, self.m, config.fifo_depth,
                                        combine_fn=combine_fn)
+        #: per-instance, immutable: every vPE accepts one record per cycle
+        self.unit_budget = (1,) * self.m
 
     def tick_deliver(self):
-        return self.xbar.tick(_unit_budget(self.m))
+        return self.xbar.tick(self.unit_budget)
 
     def can_offer(self, channel: int, dest: int) -> bool:
         return not self.xbar.inputs[channel].full

@@ -1,0 +1,1386 @@
+"""Scatter-phase simulation engines — the ``SimEngine`` seam.
+
+Every figure, sweep and report bottoms out in the scatter-phase cycle
+loop, so it exists in two interchangeable implementations:
+
+* ``reference`` — the original cycle-by-cycle loop driving the
+  component models in :mod:`repro.accel.frontend`,
+  :mod:`repro.accel.edge_access` and :mod:`repro.accel.backend`.  It is
+  the golden engine: deliberately literal, one method call per
+  component per cycle, and the only engine the pipeline tracer can
+  sample.
+* ``batched`` — a specialized re-implementation of the same cycle
+  semantics built for wall-clock speed:
+
+  - per-iteration setup (active-part distribution, scatter-value
+    extraction) is vectorized with numpy;
+  - queue banks carry occupancy counts so idle subsystems cost one
+    integer check per cycle instead of a full scan;
+  - routing digits are precomputed into flat ``table[stage][pos][dest]``
+    arrays, and records travel as flat tuples with the vertex-combining
+    merge inlined, replacing the reference's per-hop divmod + nested
+    tuple churn;
+  - provably contention-free multi-cycle regions are fast-forwarded in
+    bulk: once the front end has retired every vertex and the ePE
+    queues are empty, the records still in flight can only march down
+    the propagation network — a lone record warps straight to the final
+    stage, and a final-stage-only population drains in closed form
+    (``cycles = max queue length``), advancing the cycle/starvation
+    counters without ticking.
+
+**Equivalence contract**: both engines must produce *identical*
+:class:`~repro.accel.stats.SimStats` — every counter, not just totals —
+and identical result properties for every configuration, graph and
+algorithm.  The differential test suite
+(``tests/test_engine_differential.py``) enforces this over the tier-1
+config x graph x algorithm matrix plus randomized rmat/ER/star/grid
+graphs.  Because the engines are equivalent, they share result-cache
+entries: :func:`engine_cache_token` returns the *equivalence class*
+both engines belong to, and that token — not the engine name — enters
+:meth:`repro.sweep.jobs.SweepJob.cache_key`.  If the batched engine is
+ever changed in a way that has not been re-verified, bump
+``_EQUIVALENCE_CLASS`` so its results stop aliasing reference ones.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+
+from repro.accel.backend import make_propagation, make_vertex_combiner
+from repro.accel.edge_access import _compatible_radix, make_edge_stage
+from repro.accel.frontend import make_frontend
+from repro.errors import ConfigError, SimulationError
+from repro.hw.fifo import Fifo
+from repro.mdp.generator import generate_network
+from repro.mdp.replay import split_request
+
+#: Engine registry, in documentation order.
+ENGINES = ("reference", "batched")
+
+#: Engine used when neither the caller nor the environment picks one.
+DEFAULT_ENGINE = "batched"
+
+#: Environment override honoured by :func:`resolve_engine` (and hence by
+#: the CLI, the benchmark suite and every sweep worker).
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+#: Cache-sharing version: engines carrying the same class string have
+#: been verified cycle-exact against each other, so their results may
+#: share cache entries.  Bump on any batched-engine change that has not
+#: yet been re-verified by the differential suite.
+_EQUIVALENCE_CLASS = "cycle-exact-v1"
+
+_ENGINE_EQUIVALENCE = {
+    "reference": _EQUIVALENCE_CLASS,
+    "batched": _EQUIVALENCE_CLASS,
+}
+
+
+def resolve_engine(name: str | None = None) -> str:
+    """Normalize an engine request: explicit name > $REPRO_ENGINE > default."""
+    if name is None:
+        name = os.environ.get(ENGINE_ENV_VAR) or DEFAULT_ENGINE
+    key = str(name).strip().lower()
+    if key not in ENGINES:
+        raise ConfigError(
+            f"unknown engine {name!r}; expected one of {ENGINES} "
+            f"(or unset, which means ${ENGINE_ENV_VAR} then {DEFAULT_ENGINE!r})")
+    return key
+
+
+def engine_cache_token(name: str | None = None) -> str:
+    """Cache-key contribution of an engine choice.
+
+    Verified-equivalent engines map to the same token, so a sweep run
+    with either engine warms the cache for both.
+    """
+    return _ENGINE_EQUIVALENCE[resolve_engine(name)]
+
+
+def make_engine(name: str, sim):
+    """Build the scatter engine ``name`` bound to one simulator."""
+    if name == "reference":
+        return ReferenceEngine(sim)
+    return BatchedEngine(sim)
+
+
+# ======================================================================
+# Reference engine (golden)
+# ======================================================================
+
+class ReferenceEngine:
+    """The original component-model cycle loop (golden engine).
+
+    Owns nothing itself: it instantiates the conflict-site components on
+    the simulator (``sim.frontend`` / ``sim.edge_stage`` /
+    ``sim.propagation`` / the shared queues), where the pipeline tracer
+    expects to find them.
+    """
+
+    name = "reference"
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        config = sim.config
+        n, m = config.front_channels, config.back_channels
+        sim.frontend = make_frontend(config, sim.graph.offsets)
+        sim.edge_stage = make_edge_stage(config, sim._dst, sim._weights)
+        combine_fn = (make_vertex_combiner(sim.algorithm.reduce)
+                      if config.vertex_combining else None)
+        sim.propagation = make_propagation(config, combine_fn)
+        sim.active_parts = [deque() for _ in range(n)]
+        sim.fe_out = [Fifo(config.fe_out_depth) for _ in range(n)]
+        sim.epe_in = [deque() for _ in range(m)]
+
+    # ------------------------------------------------------------------
+    def scatter(self, active, sprop_all, tprop: list, stats) -> None:
+        """Simulate one scatter phase cycle by cycle."""
+        sim = self.sim
+        cfg = sim.config
+        n, m = cfg.front_channels, cfg.back_channels
+        parts, fe_out, epe_in = sim.active_parts, sim.fe_out, sim.epe_in
+        frontend, edge_stage, propagation = (sim.frontend, sim.edge_stage,
+                                             sim.propagation)
+        reduce_fn = sim.algorithm.reduce
+        process_fn = sim.algorithm.process_edge
+
+        sprops = sprop_all[active].tolist()
+        actives = active.tolist()
+        for i, (u, sp) in enumerate(zip(actives, sprops)):
+            parts[i % n].append((u, sp))
+
+        expected = int(sim.out_degree[active].sum())
+        fe_pending = len(actives)
+        reduces = 0
+        cycles = 0
+        starved = 0
+        limit = 4 * expected + 8 * fe_pending + 10_000
+
+        while fe_pending > 0 or reduces < expected:
+            cycles += 1
+            if cycles > limit:
+                raise SimulationError(
+                    f"scatter did not converge within {limit} cycles "
+                    f"({reduces}/{expected} reduces, {fe_pending} vertices "
+                    f"pending) — queue sizing bug?")
+            # 1. propagation delivers; vPEs reduce into tProperty banks.
+            #    A record is (v, imm, count): `count` edges may have been
+            #    coalesced into it on the way here.
+            delivered = propagation.tick_deliver()
+            for _, (dv, imm, cnt) in delivered:
+                tprop[dv] = reduce_fn(tprop[dv], imm)
+                reduces += cnt
+            got = len(delivered)
+            starved += m - got
+            stats.vpe_busy_cycles += got
+            # 2. ePEs: Process_Edge, one record per channel per cycle
+            for k in range(m):
+                q = epe_in[k]
+                if q:
+                    dstv, w, sp = q[0]
+                    if propagation.offer(k, dstv % m,
+                                         (dstv, process_fn(sp, w), 1)):
+                        q.popleft()
+            # 3. Edge Array access (site ②)
+            edge_stage.tick(fe_out, epe_in)
+            # 4. Offset Array access + ActiveVertex fetch (site ①)
+            fe_pending -= frontend.tick(parts, fe_out)
+            if sim.tracer is not None:
+                sim.tracer.sample(sim, cycles, got)
+
+        stats.scatter_cycles += cycles
+        stats.vpe_starvation_cycles += starved
+        stats.edges_processed += reduces
+
+    # ------------------------------------------------------------------
+    def harvest(self, stats) -> None:
+        sim = self.sim
+        stats.offset_deferrals = sim.frontend.deferrals
+        stats.edge_conflicts = sim.edge_stage.conflicts
+        stats.propagation_conflicts = sim.propagation.conflicts
+
+
+# ======================================================================
+# Batched engine internals
+# ======================================================================
+#
+# Shared conventions:
+#
+# * queue banks are lists of deques with an occupancy *count* per stage
+#   (or per bank group), so an idle subsystem costs one integer check
+#   per cycle; occupied banks are scanned in ascending position order —
+#   the same order as the reference's `range()` loops, which is what
+#   keeps arbitration, stall and combining decisions cycle-exact;
+# * routing is precomputed into `table[stage][pos][dest] -> target`;
+# * records are flat tuples: propagation `(dest, v, imm, count)`,
+#   frontend routing `(dest, u, sprop)`, edge pieces `(off, len, sprop)`;
+# * only counters that feed SimStats are maintained.
+
+
+def _routing_tables(plan) -> list[list[list[int]]]:
+    """``table[stage][pos][dest] -> target position`` for one plan."""
+    tables = []
+    radix = plan.radix
+    channels = plan.channels
+    for stage in plan.stages:
+        divisor = radix ** stage.digit_index
+        per_pos: list = [None] * channels
+        for module in stage.modules:
+            ports = module.channels
+            targets = [ports[(dest // divisor) % radix]
+                       for dest in range(channels)]
+            for p in ports:
+                per_pos[p] = targets
+        tables.append(per_pos)
+    return tables
+
+
+class _FastMdpNet:
+    """MDP network with occupancy counts — cf. ``MdpNetworkSim``.
+
+    Items are flat tuples whose first element is the destination.  With
+    ``combining`` enabled (propagation site), items are
+    ``(dest, v, imm, count)`` and a mover whose vertex matches the
+    target FIFO's tail merges via ``reduce_fn`` — the inlined
+    equivalent of :func:`repro.accel.backend.make_vertex_combiner`.
+    """
+
+    __slots__ = ("channels", "radix", "depth", "num_stages", "queues",
+                 "counts", "count", "table", "stall_events",
+                 "rejected_offers", "combining", "reduce_fn")
+
+    def __init__(self, channels: int, radix: int, fifo_depth: int,
+                 combining: bool = False, reduce_fn=None) -> None:
+        if fifo_depth < radix:
+            raise ConfigError(
+                f"fifo_depth {fifo_depth} must be >= radix {radix} "
+                "(nW1R FIFO never ready otherwise)")
+        plan = generate_network(channels, radix)
+        self.channels = plan.channels
+        self.radix = plan.radix
+        self.depth = fifo_depth
+        self.num_stages = plan.num_stages
+        self.queues = [[deque() for _ in range(self.channels)]
+                       for _ in range(self.num_stages)]
+        self.counts = [0] * self.num_stages
+        self.count = 0
+        self.table = _routing_tables(plan)
+        self.stall_events = 0
+        self.rejected_offers = 0
+        self.combining = combining
+        self.reduce_fn = reduce_fn
+
+    # ------------------------------------------------------------------
+    def offer(self, channel: int, item) -> bool:
+        """Inject ``item`` (``item[0]`` is the destination) at stage 0."""
+        tq = self.queues[0][self.table[0][channel][item[0]]]
+        if tq:
+            if self.combining and tq[-1][1] == item[1]:
+                tail = tq[-1]
+                tq[-1] = (tail[0], tail[1],
+                          self.reduce_fn(tail[2], item[2]), tail[3] + item[3])
+                return True
+            if self.depth - len(tq) < self.radix:
+                self.rejected_offers += 1
+                return False
+        tq.append(item)
+        self.counts[0] += 1
+        self.count += 1
+        return True
+
+    def advance(self) -> None:
+        """Move heads one stage forward, last stage first."""
+        counts = self.counts
+        queues = self.queues
+        table = self.table
+        radix = self.radix
+        depth = self.depth
+        channels = self.channels
+        combining = self.combining
+        reduce_fn = self.reduce_fn
+        combined = 0
+        stalled = 0
+        for s in range(self.num_stages - 1, 0, -1):
+            total = counts[s - 1]
+            if not total:
+                continue
+            prev = queues[s - 1]
+            cur = queues[s]
+            tbl = table[s]
+            cprev = total
+            moved = 0
+            seen = 0
+            for p in range(channels):
+                queue = prev[p]
+                if not queue:
+                    continue
+                seen += 1
+                item = queue[0]
+                tq = cur[tbl[p][item[0]]]
+                if tq:
+                    if combining and tq[-1][1] == item[1]:
+                        tail = tq[-1]
+                        tq[-1] = (tail[0], tail[1],
+                                  reduce_fn(tail[2], item[2]),
+                                  tail[3] + item[3])
+                        queue.popleft()
+                        cprev -= 1
+                        combined += 1
+                        if seen == total:
+                            break
+                        continue
+                    if depth - len(tq) < radix:
+                        stalled += 1
+                        if seen == total:
+                            break
+                        continue
+                tq.append(queue.popleft())
+                cprev -= 1
+                moved += 1
+                # every occupied position holds >= 1 item, so once `seen`
+                # equals the stage's item count the rest must be empty
+                if seen == total:
+                    break
+            counts[s - 1] = cprev
+            counts[s] += moved
+        if combined:
+            self.count -= combined
+        if stalled:
+            self.stall_events += stalled
+
+    def deliver_reduce(self, tprop: list) -> tuple[int, int]:
+        """Pop one record per occupied final-stage FIFO straight into the
+        vPEs' Reduce; returns ``(records, edges)`` delivered."""
+        last = self.num_stages - 1
+        total = self.counts[last]
+        if not total:
+            return 0, 0
+        reduce_fn = self.reduce_fn
+        got = 0
+        reduces = 0
+        for queue in self.queues[last]:
+            if queue:
+                _, dv, imm, cnt = queue.popleft()
+                tprop[dv] = reduce_fn(tprop[dv], imm)
+                reduces += cnt
+                got += 1
+                if got == total:
+                    break
+        self.counts[last] -= got
+        self.count -= got
+        return got, reduces
+
+    # -- fast-forward helpers ------------------------------------------
+    def warp_single(self) -> int:
+        """Advance the lone in-flight record straight to the final stage.
+
+        With one record in flight nothing can stall or combine, so ``k``
+        advances just move it ``k`` stages along its deterministic
+        route.  Returns the cycles skipped (0 if already there).
+        """
+        last = self.num_stages - 1
+        for s, c in enumerate(self.counts):
+            if c:
+                break
+        if s == last:
+            return 0
+        queues = self.queues[s]
+        for p in range(self.channels):
+            if queues[p]:
+                item = queues[p].popleft()
+                break
+        self.counts[s] = 0
+        self.queues[last][item[0]].append(item)
+        self.counts[last] = 1
+        return last - s
+
+    def drain_reduce(self, tprop: list) -> tuple[int, int, int]:
+        """Run the network to empty with sinks always ready and no new
+        offers; returns ``(cycles, records, edges)`` delivered.
+
+        Equivalent to ticking deliver+advance until drained: no stall or
+        combining decision differs because nothing is injected.  Two
+        bulk shortcuts apply — a lone record warps stage-to-stage in one
+        step, and a final-stage-only population drains in closed form
+        (per-FIFO pops preserve same-vertex Reduce order; records in
+        different FIFOs touch different tProperty entries).
+        """
+        cycles = 0
+        got_total = 0
+        reduces = 0
+        last = self.num_stages - 1
+        while self.count:
+            if self.counts[last] == self.count:
+                reduce_fn = self.reduce_fn
+                longest = 0
+                for queue in self.queues[last]:
+                    if queue:
+                        length = len(queue)
+                        if length > longest:
+                            longest = length
+                        while queue:
+                            _, dv, imm, cnt = queue.popleft()
+                            tprop[dv] = reduce_fn(tprop[dv], imm)
+                            reduces += cnt
+                got_total += self.count
+                cycles += longest
+                self.counts[last] = 0
+                self.count = 0
+                break
+            if self.count == 1:
+                cycles += self.warp_single()
+                continue
+            got, red = self.deliver_reduce(tprop)
+            self.advance()
+            cycles += 1
+            got_total += got
+            reduces += red
+        return cycles, got_total, reduces
+
+
+class _FastXbar:
+    """Arbitrated crossbar with occupancy counts — cf. ArbitratedCrossbar.
+
+    Items are flat tuples whose first element is the destination; with
+    ``combining`` (propagation site) they are ``(dest, v, imm, count)``
+    and merge with an input FIFO's tail when the vertex matches.
+    """
+
+    __slots__ = ("num_inputs", "num_outputs", "depth", "inputs", "count",
+                 "rr", "conflicts", "combining", "reduce_fn")
+
+    def __init__(self, num_inputs: int, num_outputs: int, fifo_depth: int,
+                 combining: bool = False, reduce_fn=None) -> None:
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.depth = fifo_depth
+        self.inputs = [deque() for _ in range(num_inputs)]
+        self.count = 0
+        self.rr = [0] * num_outputs
+        self.conflicts = 0
+        self.combining = combining
+        self.reduce_fn = reduce_fn
+
+    def offer(self, i: int, item) -> bool:
+        fifo = self.inputs[i]
+        if fifo:
+            if self.combining and fifo[-1][1] == item[1]:
+                tail = fifo[-1]
+                fifo[-1] = (tail[0], tail[1],
+                            self.reduce_fn(tail[2], item[2]),
+                            tail[3] + item[3])
+                return True
+            if len(fifo) >= self.depth:
+                return False
+        fifo.append(item)
+        self.count += 1
+        return True
+
+    def tick_unit(self) -> list:
+        """One arbitration cycle with every output accepting one item.
+
+        Single pass over the occupied inputs: the round-robin winner per
+        destination is tracked incrementally (the requester closest
+        after the rotating pointer wins, exactly as sorting all
+        requesters by ``(i - ptr) % n`` and taking the first would).
+        """
+        total = self.count
+        if not total:
+            return ()
+        inputs = self.inputs
+        num = self.num_inputs
+        rr = self.rr
+        winner: dict[int, int] = {}
+        conflicts = 0
+        seen = 0
+        for i, fifo in enumerate(inputs):
+            if not fifo:
+                continue
+            seen += 1
+            dest = fifo[0][0]
+            w = winner.get(dest)
+            if w is None:
+                winner[dest] = i
+            else:
+                conflicts += 1
+                ptr = rr[dest]
+                if (i - ptr) % num < (w - ptr) % num:
+                    winner[dest] = i
+            if seen == total:
+                break
+        self.conflicts += conflicts
+        out: list = []
+        for dest, i in winner.items():
+            q = inputs[i]
+            out.append(q.popleft())
+            rr[dest] = (i + 1) % num
+        self.count -= len(out)
+        return out
+
+    def tick_budget(self, budget: list[int]) -> list:
+        """One arbitration cycle with a per-output acceptance budget."""
+        total = self.count
+        if not total:
+            return ()
+        inputs = self.inputs
+        num = self.num_inputs
+        rr = self.rr
+        winner: dict[int, int] = {}
+        conflicts = 0
+        seen = 0
+        for i, fifo in enumerate(inputs):
+            if not fifo:
+                continue
+            seen += 1
+            dest = fifo[0][0]
+            if budget[dest] <= 0:
+                conflicts += 1      # every requester of a full output loses
+            else:
+                w = winner.get(dest)
+                if w is None:
+                    winner[dest] = i
+                else:
+                    conflicts += 1
+                    ptr = rr[dest]
+                    if (i - ptr) % num < (w - ptr) % num:
+                        winner[dest] = i
+            if seen == total:
+                break
+        self.conflicts += conflicts
+        out: list = []
+        for dest, i in winner.items():
+            q = inputs[i]
+            out.append(q.popleft())
+            rr[dest] = (i + 1) % num
+        self.count -= len(out)
+        return out
+
+
+class _FastRangeNet:
+    """Range-splitting network with counts — cf. RangeSplitNetwork."""
+
+    __slots__ = ("banks", "num_dispatchers", "group_width", "radix",
+                 "depth", "num_stages", "queues", "counts", "count",
+                 "stage_block", "stage_ports", "stall_events",
+                 "rejected_offers")
+
+    def __init__(self, banks: int, num_dispatchers: int, radix: int,
+                 fifo_depth: int) -> None:
+        plan = generate_network(num_dispatchers, radix)
+        self.banks = banks
+        self.num_dispatchers = num_dispatchers
+        self.group_width = banks // num_dispatchers
+        self.radix = radix
+        self.depth = fifo_depth
+        self.num_stages = plan.num_stages
+        self.queues = [[deque() for _ in range(num_dispatchers)]
+                       for _ in range(self.num_stages)]
+        self.counts = [0] * self.num_stages
+        self.count = 0
+        self.stage_block: list[int] = []
+        self.stage_ports: list[list[tuple[int, ...]]] = []
+        for stage in plan.stages:
+            self.stage_block.append(self.group_width * radix ** stage.digit_index)
+            ports: list = [None] * num_dispatchers
+            for module in stage.modules:
+                for p in module.channels:
+                    ports[p] = module.channels
+            self.stage_ports.append(ports)
+        self.stall_events = 0
+        self.rejected_offers = 0
+
+    # ------------------------------------------------------------------
+    def _try_insert(self, stage: int, entry_pos: int, off: int, length: int,
+                    payload) -> bool:
+        block = self.stage_block[stage]
+        ports = self.stage_ports[stage][entry_pos]
+        radix = self.radix
+        depth = self.depth
+        queues = self.queues[stage]
+        # split at block-aligned bank boundaries (cf. split_by_blocks)
+        start_bank = off % self.banks
+        rel = start_bank % block
+        if rel + length <= block:       # common case: the piece fits one block
+            q = queues[ports[(start_bank // block) % radix]]
+            if depth - len(q) < radix:
+                return False
+            q.append((off, length, payload))
+            self.counts[stage] += 1
+            self.count += 1
+            return True
+        targets: list[tuple[int, int, int]] = []
+        while length > 0:
+            room = block - (start_bank % block)
+            take = length if length < room else room
+            targets.append((ports[(start_bank // block) % radix], off, take))
+            off += take
+            start_bank += take
+            length -= take
+        for t, _, _ in targets:
+            if depth - len(queues[t]) < radix:
+                return False
+        for t, s_off, s_len in targets:
+            queues[t].append((s_off, s_len, payload))
+        added = len(targets)
+        self.counts[stage] += added
+        self.count += added
+        return True
+
+    def offer(self, channel: int, off: int, length: int, payload) -> bool:
+        if self._try_insert(0, channel, off, length, payload):
+            return True
+        self.rejected_offers += 1
+        return False
+
+    def advance(self) -> None:
+        counts = self.counts
+        queues = self.queues
+        banks = self.banks
+        radix = self.radix
+        depth = self.depth
+        for s in range(self.num_stages - 1, 0, -1):
+            total = counts[s - 1]
+            if not total:
+                continue
+            prev = queues[s - 1]
+            cur = queues[s]
+            block = self.stage_block[s]
+            ports = self.stage_ports[s]
+            seen = 0
+            moved = 0
+            stalled = 0
+            for p in range(self.num_dispatchers):
+                queue = prev[p]
+                if not queue:
+                    continue
+                seen += 1
+                item = queue[0]
+                start_bank = item[0] % banks
+                rel = start_bank % block
+                if rel + item[1] <= block:      # fits one block: plain move
+                    tq = cur[ports[p][(start_bank // block) % radix]]
+                    if depth - len(tq) >= radix:
+                        tq.append(queue.popleft())
+                        moved += 1
+                    else:
+                        stalled += 1
+                elif self._try_insert(s, p, item[0], item[1], item[2]):
+                    queue.popleft()
+                    counts[s - 1] -= 1
+                    self.count -= 1
+                else:
+                    stalled += 1
+                if seen == total:
+                    break
+            if moved:
+                counts[s - 1] -= moved
+                counts[s] += moved
+            if stalled:
+                self.stall_events += stalled
+
+
+# ======================================================================
+# Batched propagation sites
+# ======================================================================
+
+class _BatchedMdpPropagation:
+    """Site ③, MDP-network — batched counterpart of MdpPropagation."""
+
+    kind = "mdp"
+
+    def __init__(self, config, reduce_fn) -> None:
+        self.m = config.back_channels
+        self.net = _FastMdpNet(self.m, config.radix, config.fifo_depth,
+                               combining=config.vertex_combining,
+                               reduce_fn=reduce_fn)
+
+    @property
+    def count(self) -> int:
+        return self.net.count
+
+    def deliver_reduce(self, tprop: list) -> tuple[int, int]:
+        net = self.net
+        got = net.deliver_reduce(tprop)
+        if net.count:
+            net.advance()
+        return got
+
+    def offer(self, channel: int, item) -> bool:
+        return self.net.offer(channel, item)
+
+    def drain_reduce(self, tprop: list) -> tuple[int, int, int]:
+        return self.net.drain_reduce(tprop)
+
+    @property
+    def conflicts(self) -> int:
+        return self.net.stall_events + self.net.rejected_offers
+
+
+class _BatchedXbarPropagation:
+    """Site ③, arbitrated crossbar — batched CrossbarPropagation."""
+
+    kind = "xbar"
+
+    def __init__(self, config, reduce_fn) -> None:
+        self.m = config.back_channels
+        self.reduce_fn = reduce_fn
+        self.xbar = _FastXbar(self.m, self.m, config.fifo_depth,
+                              combining=config.vertex_combining,
+                              reduce_fn=reduce_fn)
+
+    @property
+    def count(self) -> int:
+        return self.xbar.count
+
+    def deliver_reduce(self, tprop: list) -> tuple[int, int]:
+        delivered = self.xbar.tick_unit()
+        if not delivered:
+            return 0, 0
+        reduce_fn = self.reduce_fn
+        reduces = 0
+        for _, dv, imm, cnt in delivered:
+            tprop[dv] = reduce_fn(tprop[dv], imm)
+            reduces += cnt
+        return len(delivered), reduces
+
+    def offer(self, channel: int, item) -> bool:
+        return self.xbar.offer(channel, item)
+
+    def drain_reduce(self, tprop: list) -> tuple[int, int, int]:
+        """Tick to empty (no new offers; per-dest arbitration still runs)."""
+        cycles = 0
+        got_total = 0
+        reduces = 0
+        while self.xbar.count:
+            got, red = self.deliver_reduce(tprop)
+            cycles += 1
+            got_total += got
+            reduces += red
+        return cycles, got_total, reduces
+
+    @property
+    def conflicts(self) -> int:
+        return self.xbar.conflicts
+
+
+# ======================================================================
+# Batched engine
+# ======================================================================
+
+class BatchedEngine:
+    """Cycle-exact batched scatter engine (see module docstring).
+
+    The orchestration per cycle is identical to the reference loop —
+    propagation deliver, ePE offers, edge-stage tick, frontend tick —
+    with occupancy counts gating each step and bulk fast-forwards for
+    the contention-free drain regions.
+    """
+
+    name = "batched"
+
+    def __init__(self, sim) -> None:
+        config = sim.config
+        self.config = config
+        self.n = config.front_channels
+        self.m = config.back_channels
+        alg = sim.algorithm
+        self.reduce_fn = alg.reduce
+        self.process_fn = alg.process_edge
+        self.identity_process = alg.process_is_identity
+        self.out_degree = sim.out_degree
+        self.dst = sim._dst
+        self.weights = sim._weights
+        n, m = self.n, self.m
+        # per-edge destination channel (dst % m), hoisted out of the
+        # dispatcher hot loop; one vectorized pass per engine, reused
+        # every iteration
+        self.dst_mod = (sim.graph.dst % m).tolist()
+
+        if config.propagation_site == "mdp":
+            self.prop = _BatchedMdpPropagation(config, alg.reduce)
+        else:
+            self.prop = _BatchedXbarPropagation(config, alg.reduce)
+
+        # ActiveVertex parts: per-channel flat rings (lists + head index),
+        # rebuilt from numpy slices at the top of every scatter phase.
+        # `parts_alive` lists the channels still holding vertices, in
+        # ascending order (offer order must match the reference scan).
+        self.parts_u: list[list] = [[] for _ in range(n)]
+        self.parts_sp: list[list] = [[] for _ in range(n)]
+        self.parts_head = [0] * n
+        self.parts_alive: list[int] = []
+
+        self.fe_out = [deque() for _ in range(n)]   # (off, len, sprop)
+        self.fe_count = 0
+        self.fe_depth = config.fe_out_depth
+        self.epe_q = [deque() for _ in range(m)]    # (dst % m, dst, imm, 1)
+        self.epe_count = 0
+        self.epe_depth = config.epe_queue_depth
+
+        # -- frontend (site ①) -----------------------------------------
+        self.offsets = sim.graph.offsets.tolist()
+        self.issue_q = [deque() for _ in range(n)]  # (u % n, u, sprop)
+        self.issue_count = 0
+        self.issue_depth = config.issue_queue_depth
+        self.deferrals = 0
+        if config.offset_site == "mdp":
+            self.fnet = _FastMdpNet(n, config.radix, config.fifo_depth)
+            self.parity = 0
+            self._frontend_tick = self._frontend_tick_mdp
+        else:
+            self.fxbar = _FastXbar(n, n, config.fifo_depth)
+            self.fstart = 0
+            self._frontend_tick = self._frontend_tick_xbar
+
+        # -- edge stage (site ②) ---------------------------------------
+        self.edge_is_mdp = config.edge_site == "mdp"
+        if self.edge_is_mdp:
+            w = config.num_dispatchers
+            self.w = w
+            self.disp_q = [deque() for _ in range(w)]   # (off, len, sprop)
+            self.disp_count = 0
+            self.disp_depth = config.dispatcher_queue_depth
+            self.disp_blocked = 0
+            #: per-dispatcher memo of the full ePE bank that blocked the
+            #: head last cycle (-1: none).  Banks are private to one
+            #: dispatcher and the head cannot change while blocked, so
+            #: a still-full memoized bank proves the head stays blocked
+            #: without rescanning its whole bank window.
+            self.disp_stall = [-1] * w
+            net_radix = _compatible_radix(w, config.radix)
+            self.rnet = (_FastRangeNet(m, w, net_radix, config.fifo_depth)
+                         if net_radix is not None else None)
+            self.replay_depth = config.replay_queue_depth
+            self.rp_pending = [deque() for _ in range(n)]  # (off, len, sprop)
+            self.rp_pieces = [deque() for _ in range(n)]
+            self.rp_busy_total = 0
+            self._position_of = [(ch * w) // n if n <= w else ch % w
+                                 for ch in range(n)]
+            self._channels_at: list[list[int]] = [[] for _ in range(w)]
+            for ch, pos in enumerate(self._position_of):
+                self._channels_at[pos].append(ch)
+            self._busy_at = [0] * w
+            self.rp_rr = [0] * w
+            self._edge_tick = self._edge_tick_mdp
+        else:
+            self.ce_queue: deque = deque()              # (off, len, sprop)
+            self.ce_capacity = config.fe_out_depth * config.front_channels
+            self.ce_issue_limit = config.issue_limit
+            self.window_conflicts = 0
+            #: (off, len, bank) of a head window blocked on a full ePE
+            #: bank with nothing issued that cycle — while the head and
+            #: the bank's fullness persist, the whole window pass is a
+            #: provable no-op
+            self.ce_stall: tuple | None = None
+            self._edge_tick = self._edge_tick_central
+
+    # ------------------------------------------------------------------
+    # Scatter phase
+    # ------------------------------------------------------------------
+    def scatter(self, active, sprop_all, tprop: list, stats) -> None:
+        n, m = self.n, self.m
+        size = int(active.size)
+        if size:
+            if size < 4 * n:
+                # tiny frontier: a python loop beats 2n numpy slices
+                us = active.tolist()
+                sps = sprop_all[active].tolist()
+                pu: list[list] = [[] for _ in range(n)]
+                psp: list[list] = [[] for _ in range(n)]
+                for i, u in enumerate(us):
+                    pu[i % n].append(u)
+                    psp[i % n].append(sps[i])
+            else:
+                sel = sprop_all[active]
+                pu = [active[ch::n].tolist() for ch in range(n)]
+                psp = [sel[ch::n].tolist() for ch in range(n)]
+            self.parts_u = pu
+            self.parts_sp = psp
+            self.parts_head = [0] * n
+            self.parts_alive = [p for p in range(n) if pu[p]]
+
+        expected = int(self.out_degree[active].sum())
+        fe_pending = size
+        reduces = 0
+        cycles = 0
+        starved = 0
+        busy = 0
+        limit = 4 * expected + 8 * fe_pending + 10_000
+
+        prop = self.prop
+        frontend_tick = self._frontend_tick
+        edge_tick = self._edge_tick
+        edge_active = self._edge_active
+        deliver_reduce = prop.deliver_reduce
+        epe_q = self.epe_q
+        prop_is_mdp = prop.kind == "mdp"
+        if prop_is_mdp:
+            pnet = prop.net
+            table0 = pnet.table[0]
+            queues0 = pnet.queues[0]
+            combining = pnet.combining
+            p_depth = pnet.depth
+            p_radix = pnet.radix
+            reduce_fn = self.reduce_fn
+            pnet_deliver = pnet.deliver_reduce
+            pnet_advance = pnet.advance
+        else:
+            xbar_offer = prop.xbar.offer
+
+        while fe_pending > 0 or reduces < expected:
+            # -- bulk fast-forward: the front end has retired everything
+            #    and the edge pipeline + ePE queues are empty, so the
+            #    records still in flight can only drain from the
+            #    propagation site — no new offers, no contention ahead.
+            if (fe_pending == 0 and not self.epe_count and prop.count
+                    and not edge_active()):
+                cyc, got_total, red = prop.drain_reduce(tprop)
+                cycles += cyc
+                if cycles > limit:
+                    break               # converges to the error below
+                starved += cyc * m - got_total
+                busy += got_total
+                reduces += red
+                self._arbiter_skip(cyc)
+                continue                # loop condition now decides
+            cycles += 1
+            if cycles > limit:
+                raise SimulationError(
+                    f"scatter did not converge within {limit} cycles "
+                    f"({reduces}/{expected} reduces, {fe_pending} vertices "
+                    f"pending) — queue sizing bug?")
+            # 1. propagation delivers; vPEs reduce into tProperty banks
+            if prop_is_mdp:
+                got, red = pnet_deliver(tprop)
+                if pnet.count:
+                    pnet_advance()
+            else:
+                got, red = deliver_reduce(tprop)
+            starved += m - got
+            busy += got
+            reduces += red
+            # 2. ePEs: Process_Edge, one record per channel per cycle
+            total = self.epe_count
+            if total and prop_is_mdp:
+                # inlined _FastMdpNet.offer, minus the per-record call
+                consumed = 0
+                added = 0
+                seen = 0
+                for k in range(m):
+                    q = epe_q[k]
+                    if q:
+                        seen += 1
+                        item = q[0]
+                        tq = queues0[table0[k][item[0]]]
+                        if tq:
+                            if combining and tq[-1][1] == item[1]:
+                                tail = tq[-1]
+                                tq[-1] = (tail[0], tail[1],
+                                          reduce_fn(tail[2], item[2]),
+                                          tail[3] + item[3])
+                                q.popleft()
+                                consumed += 1
+                            elif p_depth - len(tq) < p_radix:
+                                pnet.rejected_offers += 1
+                            else:
+                                tq.append(item)
+                                added += 1
+                                q.popleft()
+                                consumed += 1
+                        else:
+                            tq.append(item)
+                            added += 1
+                            q.popleft()
+                            consumed += 1
+                        if seen == total:
+                            break
+                self.epe_count -= consumed
+                pnet.counts[0] += added
+                pnet.count += added
+            elif total:
+                consumed = 0
+                seen = 0
+                for k in range(m):
+                    q = epe_q[k]
+                    if q:
+                        seen += 1
+                        if xbar_offer(k, q[0]):
+                            q.popleft()
+                            consumed += 1
+                        if seen == total:
+                            break
+                self.epe_count -= consumed
+            # 3. Edge Array access (site ②)
+            edge_tick()
+            # 4. Offset Array access + ActiveVertex fetch (site ①)
+            fe_pending -= frontend_tick()
+        else:
+            stats.scatter_cycles += cycles
+            stats.vpe_starvation_cycles += starved
+            stats.vpe_busy_cycles += busy
+            stats.edges_processed += reduces
+            return
+        raise SimulationError(
+            f"scatter did not converge within {limit} cycles "
+            f"({reduces}/{expected} reduces, {fe_pending} vertices "
+            f"pending) — queue sizing bug?")
+
+    # ------------------------------------------------------------------
+    def harvest(self, stats) -> None:
+        stats.offset_deferrals = self.deferrals
+        if self.edge_is_mdp:
+            stats.edge_conflicts = self.disp_blocked + (
+                self.rnet.stall_events + self.rnet.rejected_offers
+                if self.rnet is not None else 0)
+        else:
+            stats.edge_conflicts = self.window_conflicts
+        stats.propagation_conflicts = self.prop.conflicts
+
+    # ------------------------------------------------------------------
+    # Frontend variants (site ①)
+    # ------------------------------------------------------------------
+    def _arbiter_skip(self, k: int) -> None:
+        """Advance per-cycle arbiter state across ``k`` idle cycles."""
+        if self.config.offset_site == "mdp":
+            self.parity ^= k & 1
+        else:
+            self.fstart = (self.fstart + k) % self.n
+
+    def _retire(self, ch: int) -> int:
+        """Pop the granted head and emit its {Off, Len} request."""
+        q = self.issue_q[ch]
+        _, u, sprop = q.popleft()
+        self.issue_count -= 1
+        offsets = self.offsets
+        off = offsets[u]
+        length = offsets[u + 1] - off
+        if length > 0:
+            self.fe_out[ch].append((off, length, sprop))
+            self.fe_count += 1
+        return 1
+
+    def _inject_parts(self, offer) -> None:
+        """Offer one head per non-empty ActiveVertex part to the router."""
+        n = self.n
+        parts_u, parts_sp, heads = self.parts_u, self.parts_sp, self.parts_head
+        exhausted = 0
+        for p in self.parts_alive:
+            lst = parts_u[p]
+            h = heads[p]
+            u = lst[h]
+            if offer(p, (u % n, u, parts_sp[p][h])):
+                h += 1
+                heads[p] = h
+                if h == len(lst):
+                    exhausted += 1
+        if exhausted:
+            self.parts_alive = [p for p in self.parts_alive
+                                if heads[p] < len(parts_u[p])]
+
+    def _frontend_tick_mdp(self) -> int:
+        n = self.n
+        retired = 0
+        # -- issue: §4.1 odd-even arbitration over the request heads
+        if self.issue_count:
+            fe_out = self.fe_out
+            fe_depth = self.fe_depth
+            issue_q = self.issue_q
+            parity = self.parity
+            claimed: dict[int, int] | None = None
+            deferred: list[tuple[int, int]] = []
+            for ch in range(parity, n, 2):      # priority parity: grant
+                q = issue_q[ch]
+                if q and len(fe_out[ch]) < fe_depth:
+                    u = q[0][1]
+                    if claimed is None:
+                        claimed = {}
+                    claimed[u % n] = u
+                    claimed[(u + 1) % n] = u + 1
+                    retired += self._retire(ch)
+            for ch in range(1 - parity, n, 2):  # defer to claimed banks
+                q = issue_q[ch]
+                if q and len(fe_out[ch]) < fe_depth:
+                    u = q[0][1]
+                    a2 = u + 1
+                    if claimed is None:
+                        claimed = {u % n: u, a2 % n: a2}
+                        retired += self._retire(ch)
+                    elif (claimed.get(u % n, u) == u
+                          and claimed.get(a2 % n, a2) == a2):
+                        claimed[u % n] = u
+                        claimed[a2 % n] = a2
+                        retired += self._retire(ch)
+                    else:
+                        self.deferrals += 1
+        self.parity ^= 1
+        # -- route: deliver into issue queues, advance, inject parts
+        net = self.fnet
+        last = net.num_stages - 1
+        if net.counts[last]:
+            issue_q = self.issue_q
+            issue_depth = self.issue_depth
+            popped = 0
+            for p, q in enumerate(net.queues[last]):
+                if q and len(issue_q[p]) < issue_depth:
+                    issue_q[p].append(q.popleft())
+                    popped += 1
+            net.counts[last] -= popped
+            net.count -= popped
+            self.issue_count += popped
+        if net.count:
+            net.advance()
+        if self.parts_alive:
+            self._inject_parts(net.offer)
+        return retired
+
+    def _frontend_tick_xbar(self) -> int:
+        n = self.n
+        retired = 0
+        # -- issue: centralized greedy claim arbitration (rotating scan)
+        if self.issue_count:
+            fe_out = self.fe_out
+            fe_depth = self.fe_depth
+            issue_q = self.issue_q
+            start = self.fstart
+            claimed: set[int] = set()
+            for k in range(n):
+                ch = (start + k) % n
+                q = issue_q[ch]
+                if q and len(fe_out[ch]) < fe_depth:
+                    u = q[0][1]
+                    b1, b2 = u % n, (u + 1) % n
+                    if b1 in claimed or b2 in claimed:
+                        self.deferrals += 1
+                    else:
+                        claimed.add(b1)
+                        claimed.add(b2)
+                        retired += self._retire(ch)
+        self.fstart = (self.fstart + 1) % n
+        # -- route: crossbar tick under issue-queue budgets, then inject
+        xbar = self.fxbar
+        if xbar.count:
+            issue_q = self.issue_q
+            budget = [self.issue_depth - len(q) for q in issue_q]
+            delivered = xbar.tick_budget(budget)
+            for item in delivered:
+                issue_q[item[0]].append(item)
+            self.issue_count += len(delivered)
+        if self.parts_alive:
+            self._inject_parts(xbar.offer)
+        return retired
+
+    # ------------------------------------------------------------------
+    # Edge-stage variants (site ②)
+    # ------------------------------------------------------------------
+    def _edge_active(self) -> bool:
+        if self.edge_is_mdp:
+            return bool(self.disp_count or self.fe_count or self.rp_busy_total
+                        or (self.rnet is not None and self.rnet.count))
+        return bool(self.ce_queue or self.fe_count)
+
+    def _edge_tick_mdp(self) -> None:
+        m = self.m
+        # 1. dispatchers issue bank reads into the ePE queues
+        if self.disp_count:
+            epe_q = self.epe_q
+            epe_depth = self.epe_depth
+            dst = self.dst
+            dst_mod = self.dst_mod
+            weights = self.weights
+            process = self.process_fn
+            identity = self.identity_process
+            disp_stall = self.disp_stall
+            issued = 0
+            for d, q in enumerate(self.disp_q):
+                if not q:
+                    continue
+                sb = disp_stall[d]
+                if sb >= 0:
+                    if len(epe_q[sb]) >= epe_depth:
+                        self.disp_blocked += 1
+                        continue
+                    disp_stall[d] = -1
+                off, length, payload = q[0]
+                # replay pieces never wrap the bank space, so the banks
+                # are the consecutive range starting at off % m
+                bank = off % m
+                blocked = False
+                for b in range(bank, bank + length):
+                    if len(epe_q[b]) >= epe_depth:
+                        disp_stall[d] = b
+                        blocked = True
+                        break
+                if blocked:
+                    self.disp_blocked += 1
+                    continue
+                q.popleft()
+                issued += 1
+                if identity:
+                    for eidx in range(off, off + length):
+                        epe_q[bank].append((dst_mod[eidx], dst[eidx], payload, 1))
+                        bank += 1
+                else:
+                    for eidx in range(off, off + length):
+                        epe_q[bank].append((dst_mod[eidx], dst[eidx],
+                                            process(payload, weights[eidx]), 1))
+                        bank += 1
+                self.epe_count += length
+            self.disp_count -= issued
+        # 2. network delivers pieces to dispatchers
+        rnet = self.rnet
+        if rnet is not None and rnet.count:
+            last = rnet.num_stages - 1
+            if rnet.counts[last]:
+                disp_q = self.disp_q
+                disp_depth = self.disp_depth
+                popped = 0
+                for d, q in enumerate(rnet.queues[last]):
+                    if q and len(disp_q[d]) < disp_depth:
+                        disp_q[d].append(q.popleft())
+                        popped += 1
+                rnet.counts[last] -= popped
+                rnet.count -= popped
+                self.disp_count += popped
+            if rnet.count:
+                rnet.advance()
+        # 3. replay engines emit one piece per network input position
+        if self.rp_busy_total:
+            busy_at = self._busy_at
+            rp_rr = self.rp_rr
+            for pos, channels in enumerate(self._channels_at):
+                if not busy_at[pos]:
+                    continue
+                num = len(channels)
+                rr = rp_rr[pos]
+                for k in range(num):
+                    idx = (rr + k) % num
+                    piece = self._replay_emit(channels[idx])
+                    if piece is None:
+                        continue
+                    off, length, payload = piece
+                    if rnet is not None:
+                        accepted = rnet.offer(pos, off, length, payload)
+                    else:
+                        accepted = self._disp_accept(0, off, length, payload)
+                    if accepted:
+                        self._replay_consume(channels[idx], pos)
+                        rp_rr[pos] = (idx + 1) % num
+                    break
+        # 4. replay engines pull new {Off, Len} requests from the front end
+        if self.fe_count:
+            rp_pending = self.rp_pending
+            rp_pieces = self.rp_pieces
+            replay_depth = self.replay_depth
+            pulled = 0
+            for ch, src in enumerate(self.fe_out):
+                if not src:
+                    continue
+                pending = rp_pending[ch]
+                if len(pending) < replay_depth:
+                    if not pending and not rp_pieces[ch]:
+                        self._busy_at[self._position_of[ch]] += 1
+                        self.rp_busy_total += 1
+                    pending.append(src.popleft())
+                    pulled += 1
+            self.fe_count -= pulled
+
+    def _replay_emit(self, ch: int):
+        pieces = self.rp_pieces[ch]
+        if not pieces:
+            pending = self.rp_pending[ch]
+            if not pending:
+                return None
+            req = pending.popleft()
+            off, length, payload = req
+            m = self.m
+            if length <= m - off % m:   # common case: one non-wrapping piece
+                pieces.append(req)
+            else:
+                for p_off, p_len in split_request(off, length, m, m):
+                    pieces.append((p_off, p_len, payload))
+        return pieces[0]
+
+    def _replay_consume(self, ch: int, pos: int) -> None:
+        pieces = self.rp_pieces[ch]
+        pieces.popleft()
+        if not pieces and not self.rp_pending[ch]:
+            self._busy_at[pos] -= 1
+            self.rp_busy_total -= 1
+
+    def _disp_accept(self, d: int, off: int, length: int, payload) -> bool:
+        q = self.disp_q[d]
+        if len(q) >= self.disp_depth:
+            return False
+        q.append((off, length, payload))
+        self.disp_count += 1
+        return True
+
+    def _edge_tick_central(self) -> None:
+        m = self.m
+        queue = self.ce_queue
+        # 1. in-order greedy window issue
+        st = self.ce_stall
+        issue_blocked = False
+        if st is not None:
+            if (queue and queue[0][0] == st[0] and queue[0][1] == st[1]
+                    and len(self.epe_q[st[2]]) >= self.epe_depth):
+                issue_blocked = True     # head still blocked: provable no-op
+            else:
+                self.ce_stall = None
+        if queue and not issue_blocked:
+            epe_q = self.epe_q
+            epe_depth = self.epe_depth
+            dst = self.dst
+            dst_mod = self.dst_mod
+            weights = self.weights
+            process = self.process_fn
+            identity = self.identity_process
+            claimed: set[int] = set()
+            issued_requests = 0
+            while queue and issued_requests < self.ce_issue_limit:
+                off, length, payload = queue[0]
+                k = length if length < m else m
+                if claimed:              # first window can never conflict
+                    conflict = False
+                    for j in range(k):
+                        if (off + j) % m in claimed:
+                            conflict = True
+                            break
+                    if conflict:
+                        self.window_conflicts += 1
+                        break            # strict in-order: head blocks the rest
+                full = False
+                for j in range(k):
+                    if len(epe_q[(off + j) % m]) >= epe_depth:
+                        full = True
+                        break
+                if full:
+                    if not claimed:      # nothing issued: memoize the block
+                        self.ce_stall = (off, length, (off + j) % m)
+                    break
+                for j in range(k):
+                    eidx = off + j
+                    b = eidx % m
+                    epe_q[b].append((dst_mod[eidx], dst[eidx],
+                                     payload if identity
+                                     else process(payload, weights[eidx]), 1))
+                    claimed.add(b)
+                self.epe_count += k
+                if k == length:
+                    queue.popleft()
+                    issued_requests += 1
+                else:
+                    queue[0] = (off + k, length - k, payload)
+                    break                # the window already spans all banks
+        # 2. merge front-end requests in channel order
+        if self.fe_count:
+            capacity = self.ce_capacity
+            pulled = 0
+            for src in self.fe_out:
+                if len(queue) >= capacity:
+                    break
+                if src:
+                    queue.append(src.popleft())
+                    pulled += 1
+            self.fe_count -= pulled

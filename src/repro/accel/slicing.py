@@ -60,7 +60,8 @@ class SlicedAcceleratorSim:
     def __init__(self, config: AcceleratorConfig, graph: CSRGraph,
                  algorithm: Algorithm,
                  slices: list[GraphSlice] | None = None,
-                 offchip_bytes_per_cycle: float = 64.0) -> None:
+                 offchip_bytes_per_cycle: float = 64.0,
+                 engine: str | None = None) -> None:
         if not math.isfinite(offchip_bytes_per_cycle) or offchip_bytes_per_cycle <= 0:
             raise ConfigError("offchip_bytes_per_cycle must be positive and finite")
         self.config = config
@@ -69,7 +70,8 @@ class SlicedAcceleratorSim:
         self.offchip_bytes_per_cycle = offchip_bytes_per_cycle
         self.slices = slices if slices is not None else partition_for_budget(
             graph, config.onchip_memory_bytes, id_bits=DESIGN_ID_BITS)
-        self.slice_sims = [AcceleratorSim(config, s.graph, algorithm)
+        self.slice_sims = [AcceleratorSim(config, s.graph, algorithm,
+                                          engine=engine)
                            for s in self.slices]
         self.out_degree = graph.out_degree()
 

@@ -37,6 +37,10 @@ class Algorithm(ABC):
     default_iterations: int = 10
     #: True when Process_Edge reads the edge weight (BFS does not).
     uses_weights: bool = True
+    #: True when ``process_edge(sprop, weight) == sprop`` for all inputs
+    #: (PageRank, label propagation).  Lets cycle engines skip the
+    #: per-edge kernel call without changing a single produced value.
+    process_is_identity: bool = False
 
     # ------------------------------------------------------------------
     # State initialisation

@@ -20,6 +20,7 @@ class ConnectedComponents(Algorithm):
     """prop = smallest vertex id propagated so far (min-reduce)."""
 
     name = "CC"
+    process_is_identity = True
     uses_weights = False
 
     def init_prop(self, graph: CSRGraph, source: int) -> np.ndarray:
@@ -56,6 +57,7 @@ class Reachability(Algorithm):
     """
 
     name = "REACH"
+    process_is_identity = True
     uses_weights = False
 
     def init_prop(self, graph: CSRGraph, source: int) -> np.ndarray:

@@ -25,6 +25,7 @@ class PageRank(Algorithm):
     name = "PR"
     all_active = True
     uses_weights = False
+    process_is_identity = True
 
     def __init__(self, damping: float = 0.85, iterations: int = 10) -> None:
         self.damping = damping

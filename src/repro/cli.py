@@ -20,10 +20,19 @@ See ``docs/cli.md`` for copy-paste examples of every subcommand.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 
-from repro.accel import graphdyns, higraph, higraph_mini, simulate
+from repro.accel import (
+    DEFAULT_ENGINE,
+    ENGINE_ENV_VAR,
+    ENGINES,
+    graphdyns,
+    higraph,
+    higraph_mini,
+    simulate,
+)
 from repro.algorithms import make_algorithm
 from repro.bench import format_table
 from repro.errors import ReproError
@@ -52,6 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=sorted(_CONFIG_MAKERS) + ["all"])
     sim.add_argument("--source", type=int, default=0)
     sim.add_argument("--pr-iterations", type=int, default=2)
+    sim.add_argument("--engine", default=None, choices=list(ENGINES),
+                     help="scatter engine (default: $REPRO_ENGINE, then "
+                          f"{DEFAULT_ENGINE}); both produce identical stats")
 
     swp = sub.add_parser(
         "sweep", help="run a simulation matrix in parallel with caching")
@@ -79,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run the exact job matrix behind one paper "
                           "figure/section alias (fig8, fig10, radix, ...) "
                           "instead of the --algorithms/--datasets matrix")
+    swp.add_argument("--engine", default=None, choices=list(ENGINES),
+                     help="scatter engine (default: $REPRO_ENGINE, then "
+                          f"{DEFAULT_ENGINE}); results and cache entries "
+                          "are engine-independent")
 
     rep = sub.add_parser(
         "report", help="regenerate figure tables + REPORT.md from the cache")
@@ -96,6 +112,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="REPORT.md path (default: <results-dir>/REPORT.md)")
     rep.add_argument("--list-sections", action="store_true",
                      help="print section keys + figure aliases and exit")
+    rep.add_argument("--engine", default=None, choices=list(ENGINES),
+                     help="scatter engine for cache misses (default: "
+                          f"$REPRO_ENGINE, then {DEFAULT_ENGINE})")
 
     cch = sub.add_parser("cache", help="result-cache maintenance")
     cch_sub = cch.add_subparsers(dest="cache_command", required=True)
@@ -160,7 +179,7 @@ def _cmd_simulate(args) -> int:
         else:
             algorithm = make_algorithm(args.algorithm)
         stats = simulate(_CONFIG_MAKERS[name](), graph, algorithm,
-                         source=args.source).stats
+                         source=args.source, engine=args.engine).stats
         rows.append(stats.summary())
     print(format_table(rows, columns=["config", "iterations", "cycles",
                                       "edges", "gteps", "edges_per_cycle",
@@ -227,7 +246,8 @@ def _cmd_sweep(args) -> int:
     cache = None if args.no_cache else args.cache_dir
     try:
         jobs = plan_jobs(algorithms, graphs, configs,
-                         sweep_axes=sweep_axes or None, source=args.source)
+                         sweep_axes=sweep_axes or None, source=args.source,
+                         engine=args.engine)
         outcome = run_sweep(jobs, num_workers=args.jobs, cache=cache)
     except (ReproError, ValueError) as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
@@ -251,6 +271,29 @@ def _cmd_sweep(args) -> int:
           f"workers: {outcome.workers_used}  "
           f"wall: {outcome.wall_seconds:.2f}s")
     return 0
+
+
+@contextlib.contextmanager
+def _engine_env(engine: str | None):
+    """Scoped ``$REPRO_ENGINE`` override for figure/report builders.
+
+    Those builders plan their own jobs, so the engine choice travels
+    via the environment (worker processes inherit it either way); the
+    previous value is restored afterwards so an in-process caller of
+    ``main()`` does not leak engine selection into later work.
+    """
+    if engine is None:
+        yield
+        return
+    previous = os.environ.get(ENGINE_ENV_VAR)
+    os.environ[ENGINE_ENV_VAR] = engine
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(ENGINE_ENV_VAR, None)
+        else:
+            os.environ[ENGINE_ENV_VAR] = previous
 
 
 def _cmd_sweep_figure(args) -> int:
@@ -277,18 +320,19 @@ def _cmd_sweep_figure(args) -> int:
 
     cache = None if args.no_cache else args.cache_dir
     try:
-        keys = resolve_sections([args.figure])
-        ctx = RegenContext(num_workers=args.jobs, cache=cache)
-        executed = hits = planned = 0
-        for key in keys:
-            spec = SECTIONS[key]
-            rows, acct = spec.build(ctx)
-            print(format_table(
-                rows, columns=list(spec.columns) if spec.columns else None,
-                title=spec.table_title, floatfmt=spec.floatfmt))
-            executed += acct["executed"]
-            hits += acct["cache_hits"]
-            planned += acct["jobs"]
+        with _engine_env(args.engine):
+            keys = resolve_sections([args.figure])
+            ctx = RegenContext(num_workers=args.jobs, cache=cache)
+            executed = hits = planned = 0
+            for key in keys:
+                spec = SECTIONS[key]
+                rows, acct = spec.build(ctx)
+                print(format_table(
+                    rows, columns=list(spec.columns) if spec.columns else None,
+                    title=spec.table_title, floatfmt=spec.floatfmt))
+                executed += acct["executed"]
+                hits += acct["cache_hits"]
+                planned += acct["jobs"]
     except (ReproError, ValueError) as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 2
@@ -317,14 +361,17 @@ def _cmd_report(args) -> int:
               f"wall: {record['wall_seconds']:.2f}s")
 
     try:
-        report = regenerate(
-            args.results_dir,
-            sections=args.section or None,
-            num_workers=args.jobs,
-            cache=args.cache_dir,
-            report_path=args.out,
-            progress=_progress,
-        )
+        # section builders plan their own jobs; the engine choice is
+        # scoped to this regeneration (see _engine_env)
+        with _engine_env(args.engine):
+            report = regenerate(
+                args.results_dir,
+                sections=args.section or None,
+                num_workers=args.jobs,
+                cache=args.cache_dir,
+                report_path=args.out,
+                progress=_progress,
+            )
     except (ReproError, ValueError, OSError) as exc:
         print(f"report regeneration failed: {exc}", file=sys.stderr)
         return 2

@@ -51,7 +51,9 @@ class Fifo:
 
     def push(self, item) -> None:
         if self.full:
-            raise FifoOverflowError("push to full FIFO (writer ignored backpressure)")
+            raise FifoOverflowError(
+                f"push to full FIFO (writer ignored backpressure): "
+                f"occupancy {len(self._items)}/{self.capacity}")
         self._items.append(item)
         self.total_pushes += 1
         if len(self._items) > self.peak_occupancy:
@@ -72,7 +74,19 @@ class Fifo:
         self._items[-1] = item
 
     def clear(self) -> None:
+        """Empty the FIFO *and* reset its statistics.
+
+        ``clear()`` models a reset pulse between independent runs, so a
+        reused FIFO must not leak the previous run's ``peak_occupancy``
+        / ``total_pushes`` into the next one's accounting.
+        """
         self._items.clear()
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero the occupancy statistics without touching the contents."""
+        self.peak_occupancy = 0
+        self.total_pushes = 0
 
     def __iter__(self):
         return iter(self._items)
@@ -109,8 +123,13 @@ class MultiWriteFifo(Fifo):
         items = list(items)
         if len(items) > self.write_ports:
             raise FifoOverflowError(
-                f"{len(items)} pushes exceed {self.write_ports} write ports")
+                f"{len(items)} pushes exceed {self.write_ports} write ports "
+                f"(capacity {self.capacity}, occupancy {len(self._items)})")
         if len(items) > self.free:
-            raise FifoOverflowError("multi-write overflow (writers ignored ready)")
+            raise FifoOverflowError(
+                f"multi-write overflow (writers ignored ready): {len(items)} "
+                f"pushes into {self.free} free slots (capacity "
+                f"{self.capacity}, occupancy {len(self._items)}, "
+                f"{self.write_ports} write ports)")
         for item in items:
             self.push(item)

@@ -12,6 +12,7 @@ from repro.sweep.cache import CacheEntry, GcStats, ResultCache, code_version
 from repro.sweep.executor import (
     SweepOutcome,
     execute_job,
+    learned_cost_model,
     resolve_workers,
     run_sweep,
     scheduled_order,
@@ -32,4 +33,5 @@ __all__ = [
     "execute_job",
     "resolve_workers",
     "scheduled_order",
+    "learned_cost_model",
 ]

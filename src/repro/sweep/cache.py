@@ -153,6 +153,22 @@ class ResultCache:
     def total_bytes(self) -> int:
         return sum(e.size_bytes for e in self.entries())
 
+    def iter_provenance(self):
+        """Yield every readable entry's provenance dict (oldest first).
+
+        Used by the executor's learned cost model; unreadable or
+        provenance-less entries are skipped, not errors.  Reads every
+        entry file, so call it once per sweep, not per job.
+        """
+        for entry in self.entries():
+            try:
+                with open(entry.path, encoding="utf-8") as fh:
+                    provenance = json.load(fh).get("provenance")
+            except (OSError, ValueError):
+                continue
+            if isinstance(provenance, dict):
+                yield provenance
+
     def wall_seconds(self, key: str) -> float | None:
         """Recorded simulation wall time of one entry, if any."""
         try:

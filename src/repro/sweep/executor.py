@@ -56,9 +56,11 @@ def execute_job(job: SweepJob) -> SimStats:
         sim = SlicedAcceleratorSim(
             job.config, graph, job.make_algorithm(),
             slices=partition_by_destination(graph, job.num_slices),
-            offchip_bytes_per_cycle=job.offchip_bytes_per_cycle)
+            offchip_bytes_per_cycle=job.offchip_bytes_per_cycle,
+            engine=job.engine)
     else:
-        sim = AcceleratorSim(job.config, graph, job.make_algorithm())
+        sim = AcceleratorSim(job.config, graph, job.make_algorithm(),
+                             engine=job.engine)
     return sim.run(source=job.source, max_iterations=job.max_iterations).stats
 
 
@@ -69,16 +71,63 @@ def _execute_indexed(payload: tuple[int, SweepJob]) -> tuple[int, SimStats, floa
     return index, stats, time.perf_counter() - t0
 
 
-def scheduled_order(pending: list[tuple[int, SweepJob]]) -> list[tuple[int, SweepJob]]:
+def scheduled_order(pending: list[tuple[int, SweepJob]],
+                    cost_fn=None) -> list[tuple[int, SweepJob]]:
     """Dispatch order for a worker pool: largest jobs first.
 
-    Sorting by :meth:`SweepJob.cost_hint` (descending, index tie-break)
-    keeps the pool busy at the tail of a skewed matrix — the big R-MAT
-    jobs no longer land on one straggler worker after the small ones
-    drain.  Results are re-ordered by index afterwards, so this changes
-    wall-clock only, never output.
+    Sorting by estimated cost (descending, index tie-break) keeps the
+    pool busy at the tail of a skewed matrix — the big R-MAT jobs no
+    longer land on one straggler worker after the small ones drain.
+    ``cost_fn`` defaults to the static :meth:`SweepJob.cost_hint`; pass
+    the result of :func:`learned_cost_model` to rank by measured
+    wall-seconds instead.  Results are re-ordered by index afterwards,
+    so this changes wall-clock only, never output.
     """
-    return sorted(pending, key=lambda item: (-item[1].cost_hint(), item[0]))
+    if cost_fn is None:
+        cost_fn = SweepJob.cost_hint
+    return sorted(pending, key=lambda item: (-cost_fn(item[1]), item[0]))
+
+
+def learned_cost_model(cache: "ResultCache | None",
+                       jobs: list[SweepJob]):
+    """Cost estimator preferring cached ``wall_seconds`` provenance.
+
+    Scans the cache's provenance records for the (graph, algorithm)
+    families present in ``jobs`` and averages their recorded simulation
+    wall times.  Jobs whose family has measurements are ranked by those
+    seconds; the rest fall back to the static edge-count hint, rescaled
+    into seconds by the median seconds-per-edge of the measured jobs so
+    the two populations interleave sensibly.  Returns None when the
+    cache holds no usable measurements (callers then keep the static
+    ranking) — unknown families degrade to the static hint, never to an
+    error.
+    """
+    if cache is None:
+        return None
+    families = {job.family() for job in jobs}
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for prov in cache.iter_provenance():
+        family = prov.get("family")
+        seconds = prov.get("wall_seconds")
+        if (family in families and isinstance(seconds, (int, float))
+                and seconds > 0):
+            sums[family] = sums.get(family, 0.0) + float(seconds)
+            counts[family] = counts.get(family, 0) + 1
+    if not sums:
+        return None
+    means = {family: sums[family] / counts[family] for family in sums}
+    ratios = sorted(means[job.family()] / max(job.cost_hint(), 1.0)
+                    for job in jobs if job.family() in means)
+    seconds_per_edge = ratios[len(ratios) // 2]
+
+    def cost(job: SweepJob) -> float:
+        learned = means.get(job.family())
+        if learned is not None:
+            return learned
+        return job.cost_hint() * seconds_per_edge
+
+    return cost
 
 
 def resolve_workers(num_workers: int | None) -> int:
@@ -178,6 +227,7 @@ def run_sweep(
             job = jobs[index]
             cache.put(keys[index], stats, provenance={
                 "job": job.describe(),
+                "family": job.family(),
                 "tags": {k: repr(v) for k, v in job.tags.items()},
                 "config": job.config.to_dict(),
                 "wall_seconds": round(seconds, 6),
@@ -199,9 +249,17 @@ def run_sweep(
     # consuming results (job failures, cache writes, progress callbacks)
     # propagate instead of silently re-running everything in-process
     if pool is not None:
+        # learned per-family wall times (from cache provenance) rank the
+        # pending jobs better than the static edge estimate on re-runs;
+        # skipped when every pending job starts immediately anyway —
+        # ordering only matters once jobs outnumber the workers, and the
+        # model costs a full cache scan
+        cost_fn = (learned_cost_model(cache, [job for _, job in pending])
+                   if len(pending) > workers_used else None)
         with pool:
             for index, stats, seconds in pool.imap_unordered(
-                    _execute_indexed, scheduled_order(pending), chunksize=1):
+                    _execute_indexed, scheduled_order(pending, cost_fn),
+                    chunksize=1):
                 _complete(index, stats, seconds)
     else:
         for index, job in pending:

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.accel.config import AcceleratorConfig
+from repro.accel.engine import engine_cache_token
 from repro.algorithms import make_algorithm
 from repro.errors import SweepError
 from repro.graph.csr import CSRGraph
@@ -70,6 +71,11 @@ class SweepJob:
     #: off-chip bandwidth for slice replacement, bytes per cycle (sliced
     #: mode only; ignored when ``num_slices == 1``)
     offchip_bytes_per_cycle: float = 64.0
+    #: scatter engine ("reference" / "batched"); None defers to
+    #: ``$REPRO_ENGINE`` then the package default.  Only the engine's
+    #: *equivalence class* enters the cache key, so verified-equivalent
+    #: engines share cache entries.
+    engine: str | None = None
     #: caller-owned labels (dataset key, config name, swept-axis values ...)
     tags: dict[str, Any] = field(default_factory=dict)
 
@@ -86,9 +92,12 @@ class SweepJob:
         """Content-addressed identity of this job's *result*.
 
         Key material: graph fingerprint, algorithm (+ kwargs), config
-        hash, run parameters, and the simulator code version — so any
+        hash, run parameters, the simulator code version — so any
         change to the simulation semantics invalidates the cache without
-        manual versioning.
+        manual versioning — and the engine *equivalence class*: results
+        from the reference and batched engines share entries exactly
+        while the two are verified cycle-exact against each other (see
+        :func:`repro.accel.engine.engine_cache_token`).
         """
         payload = json.dumps({
             "graph": graph_fingerprint(self.graph),
@@ -100,6 +109,7 @@ class SweepJob:
             "num_slices": self.num_slices,
             "offchip_bytes_per_cycle":
                 self.offchip_bytes_per_cycle if self.num_slices > 1 else None,
+            "engine": engine_cache_token(self.engine),
             "code": code_version,
         }, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
@@ -122,6 +132,20 @@ class SweepJob:
             # all-active iterations re-traverse every edge
             edges *= self.algorithm_kwargs.get("iterations", 2) or 1
         return edges
+
+    def family(self) -> str:
+        """Cost-model bucket: jobs over the same graph + algorithm have
+        similar wall time regardless of config, so cached
+        ``wall_seconds`` provenance from one family member is a better
+        scheduling hint for the others than the static edge count.
+
+        Memoized per job: inline-graph fingerprints hash the full CSR
+        arrays, and the scheduler calls this once per pending job."""
+        cached = self.__dict__.get("_family")
+        if cached is None:
+            cached = f"{self.algorithm}:{graph_fingerprint(self.graph)}"
+            self.__dict__["_family"] = cached
+        return cached
 
     def describe(self) -> str:
         graph = (self.graph.key if isinstance(self.graph, GraphSpec)
@@ -175,6 +199,7 @@ def plan_jobs(
     sweep_axes: Mapping[str, Sequence] | None = None,
     source: int = 0,
     max_iterations: int | None = None,
+    engine: str | None = None,
 ) -> list[SweepJob]:
     """Expand the evaluation matrix into a deterministic job list.
 
@@ -222,6 +247,7 @@ def plan_jobs(
                         config=job_cfg,
                         source=source,
                         max_iterations=max_iterations,
+                        engine=engine,
                         tags={"graph": graph_label, "algorithm": alg_name,
                               "config": cfg_label, **combo},
                     ))

@@ -1,0 +1,275 @@
+"""Differential suite: the batched engine must be cycle-exact.
+
+The equivalence contract (see ``repro.accel.engine``) is that the
+``batched`` engine produces **identical** ``SimStats`` — every counter,
+not just totals — and identical result properties to the ``reference``
+engine, for every configuration, graph and algorithm.  This suite
+enforces the contract over
+
+* the tier-1 matrix: the three Table 1 designs x all five algorithms x
+  structured + skewed graphs (every conflict-site implementation pair
+  is exercised: mdp/crossbar offset, mdp/central edge, mdp/crossbar
+  propagation, with and without vertex combining);
+* randomized rmat / Erdos-Renyi / star / grid graphs;
+* the sliced (large-graph) execution mode;
+* engine-selection plumbing: defaults, the ``REPRO_ENGINE`` override,
+  cache-token sharing, and the tracer's reference-only restriction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    AcceleratorSim,
+    PipelineTracer,
+    SlicedAcceleratorSim,
+    ablation,
+    engine_cache_token,
+    graphdyns,
+    higraph,
+    higraph_mini,
+    resolve_engine,
+    simulate,
+)
+from repro.accel.engine import DEFAULT_ENGINE, ENGINE_ENV_VAR, ENGINES
+from repro.algorithms import make_algorithm, run_reference
+from repro.errors import ConfigError, SimulationError
+from repro.graph.generators import erdos_renyi, grid_2d, rmat, star
+from repro.graph.partition import partition_by_destination
+
+ALL_ALGORITHMS = ("BFS", "SSSP", "SSWP", "PR", "CC")
+
+
+def _make_algorithm(name):
+    if name == "PR":
+        return make_algorithm("PR", iterations=2)
+    return make_algorithm(name)
+
+
+def assert_engines_agree(config, graph, algorithm_name, source=0):
+    """Run both engines and compare stats dict + properties exactly."""
+    ref = simulate(config, graph, _make_algorithm(algorithm_name),
+                   source=source, engine="reference")
+    bat = simulate(config, graph, _make_algorithm(algorithm_name),
+                   source=source, engine="batched")
+    assert bat.stats.to_dict() == ref.stats.to_dict(), (
+        f"SimStats diverge for {algorithm_name} on {graph.name} / "
+        f"{config.name}")
+    assert np.array_equal(ref.properties, bat.properties)
+    return ref, bat
+
+
+class TestTier1Matrix:
+    """Three Table 1 designs x five algorithms on a skewed graph."""
+
+    @pytest.fixture(scope="class")
+    def skewed(self):
+        return rmat(9, 8.0, seed=11, name="rmat9")
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    @pytest.mark.parametrize("maker", [higraph, higraph_mini, graphdyns],
+                             ids=["HiGraph", "HiGraph-mini", "GraphDynS"])
+    def test_matrix_cell(self, maker, algorithm, skewed):
+        assert_engines_agree(maker(), skewed, algorithm)
+
+
+class TestSiteAblations:
+    """Every conflict-site implementation pair, one site at a time."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return rmat(8, 6.0, seed=5, name="rmat8")
+
+    @pytest.mark.parametrize("opts", [
+        dict(),
+        dict(opt_o=True),
+        dict(opt_e=True),
+        dict(opt_d=True),
+        dict(opt_o=True, opt_e=True, opt_d=True),
+    ], ids=["baseline", "opt-o", "opt-e", "opt-d", "opt-oed"])
+    def test_ablation_steps(self, opts, graph):
+        assert_engines_agree(ablation(**opts), graph, "PR")
+
+    def test_no_vertex_combining(self, graph):
+        assert_engines_agree(higraph(vertex_combining=False), graph, "PR")
+        assert_engines_agree(graphdyns(vertex_combining=False), graph, "SSSP")
+
+    def test_odd_geometry(self, graph):
+        """Radix 4, uneven dispatcher grouping, shallow queues."""
+        cfg = higraph(front_channels=16, back_channels=16, radix=4,
+                      fifo_depth=12, dispatcher_group=2, epe_queue_depth=2)
+        assert_engines_agree(cfg, graph, "SSSP")
+
+    def test_single_dispatcher(self, graph):
+        """num_dispatchers == 1: the range network degenerates away."""
+        cfg = higraph(back_channels=8, front_channels=8,
+                      dispatcher_group=8)
+        assert_engines_agree(cfg, graph, "BFS")
+
+
+class TestRandomizedGraphs:
+    """Random graph families x algorithms x both site stacks."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_rmat(self, algorithm, seed):
+        graph = rmat(8, 5.0, seed=seed, name=f"rmat8-{seed}")
+        assert_engines_agree(higraph(), graph, algorithm)
+        assert_engines_agree(graphdyns(), graph, algorithm)
+
+    @pytest.mark.parametrize("seed", [7, 8])
+    @pytest.mark.parametrize("algorithm", ("BFS", "SSSP", "PR"))
+    def test_erdos_renyi(self, algorithm, seed):
+        graph = erdos_renyi(300, 2400, seed=seed, name=f"er-{seed}")
+        assert_engines_agree(higraph(), graph, algorithm)
+        assert_engines_agree(graphdyns(), graph, algorithm)
+
+    @pytest.mark.parametrize("algorithm", ("BFS", "SSWP", "CC"))
+    def test_star(self, algorithm):
+        """One hub fanning out: the propagation hotspot worst case."""
+        graph = star(200)
+        assert_engines_agree(higraph(), graph, algorithm)
+        assert_engines_agree(higraph_mini(), graph, algorithm)
+
+    @pytest.mark.parametrize("algorithm", ("BFS", "SSSP", "CC"))
+    def test_grid(self, algorithm):
+        """Long-diameter grid: many sparse-frontier iterations."""
+        graph = grid_2d(12, 12)
+        assert_engines_agree(higraph(), graph, algorithm)
+        assert_engines_agree(graphdyns(), graph, algorithm)
+
+    @pytest.mark.parametrize("seed", [3])
+    def test_matches_golden_model(self, seed):
+        """Both engines also equal the functional golden model.
+
+        Min/max-reduce algorithms are order-insensitive, so they match
+        bit-exactly; PR sums in hardware delivery order, which differs
+        from the golden model's vectorized summation at ULP level only.
+        """
+        graph = rmat(8, 5.0, seed=seed, name=f"rmat8-{seed}")
+        for algorithm in ALL_ALGORITHMS:
+            bat = simulate(higraph(), graph, _make_algorithm(algorithm),
+                           engine="batched")
+            golden = run_reference(graph, _make_algorithm(algorithm), source=0)
+            if algorithm == "PR":
+                np.testing.assert_allclose(bat.properties, golden.properties,
+                                           rtol=1e-12, atol=0)
+            else:
+                np.testing.assert_array_equal(bat.properties, golden.properties)
+
+    def test_nonzero_source(self):
+        graph = rmat(8, 5.0, seed=9, name="rmat8-9")
+        assert_engines_agree(higraph(), graph, "BFS", source=37)
+        assert_engines_agree(graphdyns(), graph, "SSSP", source=101)
+
+
+class TestSlicedMode:
+    def test_sliced_equivalence(self):
+        graph = rmat(8, 6.0, seed=13, name="rmat8-13")
+        slices = partition_by_destination(graph, 3)
+        results = {}
+        for engine in ENGINES:
+            sim = SlicedAcceleratorSim(higraph(), graph,
+                                       _make_algorithm("SSSP"),
+                                       slices=slices, engine=engine)
+            results[engine] = sim.run(source=0)
+        assert (results["batched"].stats.to_dict()
+                == results["reference"].stats.to_dict())
+        assert np.array_equal(results["batched"].properties,
+                              results["reference"].properties)
+
+
+class TestEngineSelection:
+    def test_registry_and_default(self):
+        assert set(ENGINES) == {"reference", "batched"}
+        assert DEFAULT_ENGINE in ENGINES
+        assert resolve_engine("Reference") == "reference"
+        assert resolve_engine(None) in ENGINES
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_engine("warp-10")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "reference")
+        assert resolve_engine(None) == "reference"
+        graph = star(8)
+        assert AcceleratorSim(higraph(), graph,
+                              _make_algorithm("BFS")).engine_name == "reference"
+        monkeypatch.setenv(ENGINE_ENV_VAR, "batched")
+        assert resolve_engine(None) == "batched"
+
+    def test_engines_share_cache_token(self):
+        """Verified-equivalent engines must alias their cache entries."""
+        assert engine_cache_token("reference") == engine_cache_token("batched")
+
+    def test_engine_choice_does_not_change_cache_key(self):
+        from repro.sweep import SweepJob
+        graph = star(8)
+        keys = {SweepJob(graph=graph, algorithm="BFS", config=higraph(),
+                         engine=engine).cache_key("v0")
+                for engine in (None, "reference", "batched")}
+        assert len(keys) == 1
+
+    def test_tracer_forces_reference(self):
+        graph = star(16)
+        sim = AcceleratorSim(higraph(), graph, _make_algorithm("BFS"),
+                             tracer=PipelineTracer())
+        assert sim.engine_name == "reference"
+        with pytest.raises(SimulationError):
+            AcceleratorSim(higraph(), graph, _make_algorithm("BFS"),
+                           tracer=PipelineTracer(), engine="batched")
+
+    def test_explicit_engine_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "reference")
+        graph = star(8)
+        sim = AcceleratorSim(higraph(), graph, _make_algorithm("BFS"),
+                             engine="batched")
+        assert sim.engine_name == "batched"
+
+
+class TestBackendStateIsolation:
+    """Regression: site-③ sink vectors must be per-instance.
+
+    ``backend.py`` used to hand ``MdpNetworkSim.deliver`` and
+    ``ArbitratedCrossbar.tick`` module-level shared *mutable* lists; a
+    consumer mutation corrupted every other live simulator of the same
+    width.  They are per-instance immutable tuples now.
+    """
+
+    def test_no_shared_module_state(self):
+        import repro.accel.backend as backend
+        assert not hasattr(backend, "_ALL_READY")
+        assert not hasattr(backend, "_UNIT_BUDGET")
+
+    def test_mdp_sink_vector_is_private_and_immutable(self):
+        from repro.accel.backend import MdpPropagation
+        a = MdpPropagation(higraph())
+        b = MdpPropagation(higraph())
+        assert a.sink_ready is not b.sink_ready
+        with pytest.raises(TypeError):
+            a.sink_ready[0] = False
+
+    def test_crossbar_budget_is_private_and_immutable(self):
+        from repro.accel.backend import CrossbarPropagation
+        a = CrossbarPropagation(graphdyns())
+        b = CrossbarPropagation(graphdyns())
+        assert a.unit_budget is not b.unit_budget
+        with pytest.raises(TypeError):
+            a.unit_budget[0] = 0
+
+    def test_two_interleaved_sims_do_not_alias(self):
+        """Interleaving two live simulators must equal running each
+        alone — the historical failure mode of the shared vectors."""
+        graph = rmat(7, 5.0, seed=21, name="rmat7-21")
+        solo = [simulate(higraph(), graph, _make_algorithm("BFS"),
+                         engine="reference").stats.to_dict(),
+                simulate(graphdyns(), graph, _make_algorithm("BFS"),
+                         engine="reference").stats.to_dict()]
+        sims = [AcceleratorSim(higraph(), graph, _make_algorithm("BFS"),
+                               engine="reference"),
+                AcceleratorSim(graphdyns(), graph, _make_algorithm("BFS"),
+                               engine="reference")]
+        # poke one sim's sink vector usage by running them turn-about
+        results = [sim.run(source=0).stats.to_dict() for sim in sims]
+        assert results == solo

@@ -50,6 +50,35 @@ class TestFifo:
         f.clear()
         assert f.empty
 
+    def test_clear_resets_stats_for_reuse(self):
+        """Regression: a cleared (reset) FIFO must not leak the previous
+        run's peak_occupancy / total_pushes into the next one."""
+        f = Fifo(4)
+        f.push(1)
+        f.push(2)
+        f.clear()
+        assert f.peak_occupancy == 0
+        assert f.total_pushes == 0
+        f.push(3)
+        assert f.peak_occupancy == 1
+        assert f.total_pushes == 1
+
+    def test_reset_stats_keeps_contents(self):
+        f = Fifo(4)
+        f.push(1)
+        f.push(2)
+        f.reset_stats()
+        assert len(f) == 2
+        assert f.peak_occupancy == 0
+        assert f.total_pushes == 0
+
+    def test_overflow_error_is_actionable(self):
+        f = Fifo(2)
+        f.push(1)
+        f.push(2)
+        with pytest.raises(FifoOverflowError, match=r"occupancy 2/2"):
+            f.push(3)
+
     def test_zero_capacity_rejected(self):
         with pytest.raises(ConfigError):
             Fifo(0)
@@ -131,6 +160,20 @@ class TestMultiWriteFifo:
         f.push(1)
         with pytest.raises(OverflowError):
             f.push_many([2, 3])
+
+    def test_overflow_reports_capacity_occupancy_and_ports(self):
+        """Overflow reports must be actionable: capacity, occupancy and
+        write-port count all appear in the message."""
+        f = MultiWriteFifo(4, write_ports=2)
+        f.push(1)
+        f.push(2)
+        f.push(3)
+        with pytest.raises(FifoOverflowError,
+                           match=r"2 pushes into 1 free slots \(capacity 4, "
+                                 r"occupancy 3, 2 write ports\)"):
+            f.push_many([4, 5])
+        with pytest.raises(FifoOverflowError, match=r"capacity 4, occupancy 3"):
+            f.push_many([4, 5, 6])
 
     def test_capacity_below_ports_rejected(self):
         with pytest.raises(ConfigError):

@@ -23,6 +23,11 @@ from repro.sweep import (
 SMALL = GraphSpec("VT", scale=0.03)
 
 
+def _stats():
+    from repro.accel import SimStats
+    return SimStats(config_name="c", algorithm="BFS", graph_name="g")
+
+
 @pytest.fixture(scope="module")
 def tiny_graph():
     return rmat(7, 4.0, seed=5, name="tiny")
@@ -296,6 +301,52 @@ class TestExecutor:
         bfs, pr = plan_jobs(["BFS", ("PR", {"iterations": 2})], [SMALL],
                             {"HiGraph": higraph()})
         assert pr.cost_hint() > bfs.cost_hint()
+
+    def test_learned_cost_model_prefers_cached_wall_seconds(self, tmp_path):
+        """ROADMAP follow-up: cached wall_seconds provenance beats the
+        static edge-count hint on re-runs where the static hint misranks.
+
+        VT has ~5x the registry edges of R16, so the static order puts
+        R16's jobs first; recorded wall times saying R16 is actually the
+        slow family must flip the dispatch order."""
+        from repro.sweep import learned_cost_model
+        jobs = plan_jobs(["BFS"], [GraphSpec("VT", 0.03), GraphSpec("R16", 0.03)],
+                         {"HiGraph": higraph(), "GraphDynS": graphdyns()})
+        pending = list(enumerate(jobs))
+        static = [j.tags["graph"] for _i, j in scheduled_order(pending)]
+        assert static[0] == "R16"       # registry edges say R16 is bigger
+
+        cache = ResultCache(tmp_path)
+        # same families, measured the other way around: VT slow, R16 fast
+        for job, seconds in ((jobs[0], 9.0), (jobs[2], 0.05)):
+            cache.put(job.cache_key("v0"), _stats(),
+                      provenance={"family": job.family(),
+                                  "wall_seconds": seconds})
+        cost = learned_cost_model(cache, [j for _i, j in pending])
+        assert cost is not None
+        learned = [j.tags["graph"] for _i, j in scheduled_order(pending, cost)]
+        assert learned[0] == "VT" and learned[1] == "VT"
+        # deterministic within a family: index tie-break preserved
+        assert scheduled_order(pending, cost) == scheduled_order(pending, cost)
+
+    def test_learned_cost_model_without_data_is_none(self, tmp_path):
+        from repro.sweep import learned_cost_model
+        jobs = plan_jobs(["BFS"], [SMALL], {"HiGraph": higraph()})
+        assert learned_cost_model(None, jobs) is None
+        assert learned_cost_model(ResultCache(tmp_path), jobs) is None
+
+    def test_unknown_families_fall_back_to_static_hint(self, tmp_path):
+        """A family without measurements ranks by rescaled static cost,
+        never raises."""
+        from repro.sweep import learned_cost_model
+        jobs = plan_jobs(["BFS"], [GraphSpec("VT", 0.03), GraphSpec("R16", 0.03)],
+                         {"HiGraph": higraph()})
+        cache = ResultCache(tmp_path)
+        cache.put(jobs[0].cache_key("v0"), _stats(),
+                  provenance={"family": jobs[0].family(), "wall_seconds": 2.0})
+        cost = learned_cost_model(cache, jobs)
+        assert cost(jobs[0]) == 2.0
+        assert cost(jobs[1]) > 0        # static hint rescaled into seconds
 
 
 # ----------------------------------------------------------------------
