@@ -1,72 +1,117 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 tests (including the engine differential
-# suite), a parallel smoke sweep, a cold/warm report regeneration
-# check, an engine perf-probe smoke, and a docs-vs-CLI consistency
-# check.
+# CI entry point, composable by stage so local runs and the GitHub
+# Actions workflow (.github/workflows/ci.yml) share one script:
 #
-# The smoke sweep exercises the multiprocessing executor and the result
-# cache on a tiny generated graph (VT stand-in at 3% scale): a cold
-# 2-job run must execute every cell, and an immediately repeated run
-# must come entirely from cache.
+#   ci.sh            == ci.sh all
+#   ci.sh tests      tier-1 pytest (includes the engine differential suite)
+#   ci.sh docs       docs/cli.md vs `repro --help` consistency check
+#   ci.sh sweep      cold+warm smoke sweep (executor + result cache)
+#   ci.sh report     cold/warm report regeneration (zero sims, same bytes)
+#   ci.sh perf       perf-probe smoke (BENCH record + cycle-exactness)
+#                    followed by the bench-history schema/trajectory check
 #
-# The report smoke does the same for the regeneration pipeline: a warm
-# `repro report` must execute zero simulations and reproduce REPORT.md
-# byte-for-byte.
+# Stages may be combined: `ci.sh tests perf`.
 #
-# The perf-probe smoke times reference vs batched on a tiny matrix and
-# appends a BENCH JSON record; it asserts the engines stayed
-# cycle-exact (stats_identical) but no speedup floor — CI runners are
-# too noisy for that (see docs/performance.md).
+# The perf smoke asserts the engines stayed cycle-exact
+# (stats_identical) but no speedup floor — CI runners are too noisy for
+# that (see docs/performance.md); the bench-history check treats
+# trajectory regressions as advisory for the same reason.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1 tests (includes tests/test_engine_differential.py) =="
-python -m pytest -x -q
+# every stage's mktemp dir is registered here and removed on ANY exit,
+# including a failed assertion under `set -e`
+CI_TMP_DIRS=()
+cleanup() { ((${#CI_TMP_DIRS[@]})) && rm -rf "${CI_TMP_DIRS[@]}"; }
+trap cleanup EXIT
+ci_mktemp_d() { local d; d="$(mktemp -d)"; CI_TMP_DIRS+=("$d"); echo "$d"; }
 
-echo "== docs check (docs/cli.md vs repro --help) =="
-python scripts/check_cli_docs.py
+stage_tests() {
+    echo "== tier-1 tests (includes tests/test_engine_differential.py) =="
+    python -m pytest -x -q
+}
 
-echo "== smoke sweep (2 jobs, cold cache) =="
-CACHE_DIR="$(mktemp -d)"
-REPORT_DIR="$(mktemp -d)"
-REPORT_CACHE="$(mktemp -d)"
-trap 'rm -rf "$CACHE_DIR" "$REPORT_DIR" "$REPORT_CACHE"' EXIT
-python -m repro sweep --datasets VT --scale 0.03 --algorithms BFS,PR \
-    --jobs 2 --cache-dir "$CACHE_DIR" | tee /tmp/ci-sweep-cold.txt
-grep -q "cache hits: 0" /tmp/ci-sweep-cold.txt
+stage_docs() {
+    echo "== docs check (docs/cli.md vs repro --help) =="
+    python scripts/check_cli_docs.py
+}
 
-echo "== smoke sweep (warm cache) =="
-python -m repro sweep --datasets VT --scale 0.03 --algorithms BFS,PR \
-    --jobs 2 --cache-dir "$CACHE_DIR" | tee /tmp/ci-sweep-warm.txt
-grep -q "cache hits: 6 (100%)" /tmp/ci-sweep-warm.txt
-grep -q "executed: 0" /tmp/ci-sweep-warm.txt
+stage_sweep() {
+    echo "== smoke sweep (2 jobs, cold cache) =="
+    local cache_dir
+    cache_dir="$(ci_mktemp_d)"
+    python -m repro sweep --datasets VT --scale 0.03 --algorithms BFS,PR \
+        --jobs 2 --cache-dir "$cache_dir" | tee /tmp/ci-sweep-cold.txt
+    grep -q "cache hits: 0" /tmp/ci-sweep-cold.txt
 
-# identical tables regardless of cache state
-diff <(sed '/^jobs:/d' /tmp/ci-sweep-cold.txt) \
-     <(sed '/^jobs:/d' /tmp/ci-sweep-warm.txt)
+    echo "== smoke sweep (warm cache) =="
+    python -m repro sweep --datasets VT --scale 0.03 --algorithms BFS,PR \
+        --jobs 2 --cache-dir "$cache_dir" | tee /tmp/ci-sweep-warm.txt
+    grep -q "cache hits: 6 (100%)" /tmp/ci-sweep-warm.txt
+    grep -q "executed: 0" /tmp/ci-sweep-warm.txt
 
-echo "== report regeneration (cold) =="
-REPRO_SCALE=0.03 python -m repro report --results-dir "$REPORT_DIR" \
-    --cache-dir "$REPORT_CACHE" --section fig10 --section latency \
-    | tee /tmp/ci-report-cold.txt
-cp "$REPORT_DIR/REPORT.md" /tmp/ci-report-cold.md
+    # identical tables regardless of cache state
+    diff <(sed '/^jobs:/d' /tmp/ci-sweep-cold.txt) \
+         <(sed '/^jobs:/d' /tmp/ci-sweep-warm.txt)
+}
 
-echo "== report regeneration (warm: zero simulations, identical bytes) =="
-REPRO_SCALE=0.03 python -m repro report --results-dir "$REPORT_DIR" \
-    --cache-dir "$REPORT_CACHE" --section fig10 --section latency \
-    | tee /tmp/ci-report-warm.txt
-grep -Eq "^sections: .*cache hits: 20 \(100%\)  executed: 0  " \
-    /tmp/ci-report-warm.txt
-cmp /tmp/ci-report-cold.md "$REPORT_DIR/REPORT.md"
+stage_report() {
+    echo "== report regeneration (cold) =="
+    local report_dir report_cache
+    report_dir="$(ci_mktemp_d)"
+    report_cache="$(ci_mktemp_d)"
+    REPRO_SCALE=0.03 python -m repro report --results-dir "$report_dir" \
+        --cache-dir "$report_cache" --section fig10 --section latency \
+        | tee /tmp/ci-report-cold.txt
+    cp "$report_dir/REPORT.md" /tmp/ci-report-cold.md
 
-echo "== engine perf probe (quick: BENCH record + cycle-exactness) =="
-BENCH_FILE="$(mktemp)"
-python scripts/perf_probe.py --quick --out "$BENCH_FILE" \
-    | tee /tmp/ci-perf-probe.txt
-grep -q '"bench": "fig8_cold_sweep"' "$BENCH_FILE"
-grep -q '"stats_identical": true' "$BENCH_FILE"
-rm -f "$BENCH_FILE"
+    echo "== report regeneration (warm: zero simulations, identical bytes) =="
+    REPRO_SCALE=0.03 python -m repro report --results-dir "$report_dir" \
+        --cache-dir "$report_cache" --section fig10 --section latency \
+        | tee /tmp/ci-report-warm.txt
+    grep -Eq "^sections: .*cache hits: 20 \(100%\)  executed: 0  " \
+        /tmp/ci-report-warm.txt
+    cmp /tmp/ci-report-cold.md "$report_dir/REPORT.md"
+}
 
-echo "CI OK"
+stage_perf() {
+    echo "== engine perf probe (quick: BENCH record + cycle-exactness) =="
+    local bench_dir
+    bench_dir="$(ci_mktemp_d)"
+    python scripts/perf_probe.py --quick --out "$bench_dir/bench.jsonl" \
+        | tee /tmp/ci-perf-probe.txt
+    grep -q '"bench": "fig8_cold_sweep"' "$bench_dir/bench.jsonl"
+    grep -q '"stats_identical": true' "$bench_dir/bench.jsonl"
+
+    echo "== bench-history check (smoke record) =="
+    python scripts/check_bench_history.py --file "$bench_dir/bench.jsonl"
+
+    echo "== bench-history check (committed trajectory) =="
+    python scripts/check_bench_history.py
+}
+
+usage() {
+    sed -n '2,14p' "$0"
+    exit 2
+}
+
+stages=("$@")
+if [ ${#stages[@]} -eq 0 ]; then
+    stages=(all)
+fi
+for stage in "${stages[@]}"; do
+    case "$stage" in
+        tests)  stage_tests ;;
+        docs)   stage_docs ;;
+        sweep)  stage_sweep ;;
+        report) stage_report ;;
+        perf)   stage_perf ;;
+        all)    stage_tests; stage_docs; stage_sweep; stage_report; stage_perf ;;
+        -h|--help) usage ;;
+        *) echo "ci.sh: unknown stage '$stage'" >&2; usage ;;
+    esac
+done
+
+echo "CI OK (${stages[*]})"

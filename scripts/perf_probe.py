@@ -6,7 +6,8 @@ Table 1 designs) **cold** — no result cache, every job simulated — once
 per scatter engine, and appends one JSON line to the benchmark history
 file.  This is the perf trajectory's seed: each run adds a record, so
 ``benchmarks/results/bench_history.jsonl`` accumulates the engine
-speedup over time (see docs/performance.md for how to read it).
+speedup over time (see docs/performance.md for how to read it, and
+``scripts/check_bench_history.py`` for the CI gate that watches it).
 
 Methodology
 -----------
@@ -16,7 +17,10 @@ Methodology
   job, adjacent in time — so slow drift in machine load biases both
   engines equally; per-job pairs also yield a drift-robust median;
 * every pair's ``SimStats`` are compared: the probe doubles as a
-  differential check and records ``stats_identical`` in the BENCH line.
+  differential check and records ``stats_identical`` in the BENCH line;
+* the batched engine's event-driven fast-forward telemetry (whole-phase
+  windows replayed, cycles fast-forwarded vs simulated, value-plane
+  events) is snapshotted into the record.
 
 Usage::
 
@@ -39,6 +43,9 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..", "benchmarks",
                            "results", "bench_history.jsonl")
+
+#: Engines timed per job, in run order (reference first, adjacent).
+ENGINE_PAIR = ("reference", "batched")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +70,95 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# ----------------------------------------------------------------------
+# Pure record-building helpers (unit-tested without any timing runs)
+# ----------------------------------------------------------------------
+
+def pair_result(describe: str, seconds: dict, stats: dict) -> dict:
+    """Summarize one job's paired engine runs.
+
+    ``seconds`` and ``stats`` are keyed by engine name; the SimStats
+    dicts are compared here so the probe doubles as a differential
+    check per job.
+    """
+    ref, bat = (seconds[e] for e in ENGINE_PAIR)
+    return {
+        "job": describe,
+        "reference_seconds": ref,
+        "batched_seconds": bat,
+        "speedup": ref / bat,
+        "stats_identical": stats[ENGINE_PAIR[0]] == stats[ENGINE_PAIR[1]],
+    }
+
+
+def median_job_speedup(pairs: list[dict]) -> float:
+    """Median per-job speedup — robust to one outlier cell and drift."""
+    ratios = sorted(p["speedup"] for p in pairs)
+    if not ratios:
+        raise ValueError("no job pairs to summarize")
+    return ratios[len(ratios) // 2]
+
+
+def build_record(pairs: list[dict], *, datasets: list[str],
+                 algorithms: list[str], scales: dict,
+                 equivalence_class: str, ffwd: dict | None = None,
+                 utc: str | None = None, python_version: str | None = None,
+                 machine: str | None = None) -> dict:
+    """Assemble one BENCH history line from per-job pair results."""
+    if not pairs:
+        raise ValueError("no job pairs to record")
+    ref_total = sum(p["reference_seconds"] for p in pairs)
+    bat_total = sum(p["batched_seconds"] for p in pairs)
+    record = {
+        "bench": "fig8_cold_sweep",
+        "utc": utc if utc is not None
+        else datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "datasets": list(datasets),
+        "algorithms": list(algorithms),
+        "scales": dict(scales),
+        "jobs": len(pairs),
+        "reference_seconds": round(ref_total, 3),
+        "batched_seconds": round(bat_total, 3),
+        "speedup": round(ref_total / bat_total, 3),
+        "median_job_speedup": round(median_job_speedup(pairs), 3),
+        "stats_identical": all(p["stats_identical"] for p in pairs),
+        "engine_equivalence_class": equivalence_class,
+        "python": (python_version if python_version is not None
+                   else platform.python_version()),
+        "machine": machine if machine is not None else platform.machine(),
+    }
+    if ffwd is not None:
+        record["ffwd"] = {
+            "windows": ffwd["windows"],
+            "cycles_fast_forwarded": ffwd["cycles_fast_forwarded"],
+            "cycles_simulated": ffwd["cycles_simulated"],
+            "events": ffwd["events"],
+        }
+    return record
+
+
+def resolve_out_path(out: str, default: str = DEFAULT_OUT) -> str:
+    """Validate/prepare the history path.
+
+    The default ``benchmarks/results/`` directory is created when
+    missing; an explicit ``--out`` with a missing parent is a clear
+    user error, reported without a traceback.
+    """
+    out = os.path.abspath(out)
+    parent = os.path.dirname(out)
+    if out == os.path.abspath(default):
+        os.makedirs(parent, exist_ok=True)
+        return out
+    if not os.path.isdir(parent):
+        raise SystemExit(
+            f"perf_probe: --out parent directory does not exist: {parent!r}"
+            " — create it first (or drop --out to use the default"
+            " benchmarks/results/ location, which is created on demand)")
+    return out
+
+
+# ----------------------------------------------------------------------
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.quick:
@@ -72,8 +168,9 @@ def main(argv=None) -> int:
             args.scale = 0.03
     if args.scale is not None:
         os.environ["REPRO_SCALE"] = str(args.scale)
+    out_path = resolve_out_path(args.out)
 
-    from repro.accel.engine import engine_cache_token
+    from repro.accel.engine import engine_cache_token, reset_ffwd_telemetry
     from repro.bench.harness import bench_scale, matrix_jobs
     from repro.graph import DATASET_ORDER
     from repro.sweep.executor import _GRAPH_MEMO, execute_job
@@ -82,7 +179,7 @@ def main(argv=None) -> int:
     datasets = ([d.strip().upper() for d in args.datasets.split(",")]
                 if args.datasets else list(DATASET_ORDER))
     algorithms = ([a.strip().upper() for a in args.algorithms.split(",")]
-                  if args.algorithms else ("BFS", "SSSP", "SSWP", "PR"))
+                  if args.algorithms else ["BFS", "SSSP", "SSWP", "PR"])
     jobs = matrix_jobs(algorithms=algorithms, datasets=datasets)
 
     # resolve every graph once, outside the timed region
@@ -91,56 +188,44 @@ def main(argv=None) -> int:
         if fingerprint not in _GRAPH_MEMO:
             _GRAPH_MEMO[fingerprint] = job.resolve_graph()
 
-    totals = {"reference": 0.0, "batched": 0.0}
-    ratios = []
-    identical = True
+    ffwd = reset_ffwd_telemetry()
+    pairs = []
     for job in jobs:
         seconds = {}
         stats = {}
-        for engine in ("reference", "batched"):      # paired, adjacent
+        for engine in ENGINE_PAIR:                   # paired, adjacent
             job.engine = engine
             t0 = time.perf_counter()
-            stats[engine] = execute_job(job)
+            stats[engine] = execute_job(job).to_dict()
             seconds[engine] = time.perf_counter() - t0
-            totals[engine] += seconds[engine]
-        if stats["reference"].to_dict() != stats["batched"].to_dict():
-            identical = False
-            print(f"WARNING: SimStats diverge on {job.describe()}",
+        pair = pair_result(job.describe(), seconds, stats)
+        pairs.append(pair)
+        if not pair["stats_identical"]:
+            print(f"WARNING: SimStats diverge on {pair['job']}",
                   file=sys.stderr)
-        ratios.append(seconds["reference"] / seconds["batched"])
-        print(f"  {job.describe():28s} ref={seconds['reference']:7.3f}s "
-              f"bat={seconds['batched']:7.3f}s  {ratios[-1]:5.2f}x")
+        print(f"  {pair['job']:28s} ref={pair['reference_seconds']:7.3f}s "
+              f"bat={pair['batched_seconds']:7.3f}s  {pair['speedup']:5.2f}x")
 
-    ratios.sort()
-    speedup = totals["reference"] / totals["batched"]
-    record = {
-        "bench": "fig8_cold_sweep",
-        "utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "datasets": datasets,
-        "algorithms": list(algorithms),
-        "scales": {d: bench_scale(d) for d in datasets},
-        "jobs": len(jobs),
-        "reference_seconds": round(totals["reference"], 3),
-        "batched_seconds": round(totals["batched"], 3),
-        "speedup": round(speedup, 3),
-        "median_job_speedup": round(ratios[len(ratios) // 2], 3),
-        "stats_identical": identical,
-        "engine_equivalence_class": engine_cache_token("batched"),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-    }
-    os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
-    with open(args.out, "a", encoding="utf-8") as fh:
+    record = build_record(
+        pairs,
+        datasets=datasets,
+        algorithms=algorithms,
+        scales={d: bench_scale(d) for d in datasets},
+        equivalence_class=engine_cache_token("batched"),
+        ffwd=dict(ffwd),
+    )
+    with open(out_path, "a", encoding="utf-8") as fh:
         fh.write(json.dumps(record, sort_keys=True) + "\n")
     print("BENCH " + json.dumps(record, sort_keys=True))
-    print(f"wrote {args.out}")
+    print(f"wrote {out_path}")
 
-    if not identical:
+    if not record["stats_identical"]:
         print("FAIL: engines disagree — equivalence contract broken",
               file=sys.stderr)
         return 1
-    if args.require_speedup is not None and speedup < args.require_speedup:
-        print(f"FAIL: speedup {speedup:.2f}x below required "
+    if (args.require_speedup is not None
+            and record["speedup"] < args.require_speedup):
+        print(f"FAIL: speedup {record['speedup']:.2f}x below required "
               f"{args.require_speedup:.2f}x", file=sys.stderr)
         return 1
     return 0

@@ -20,13 +20,32 @@ loop, so it exists in two interchangeable implementations:
     arrays, and records travel as flat tuples with the vertex-combining
     merge inlined, replacing the reference's per-hop divmod + nested
     tuple churn;
+  - the per-edge ``Process_Edge`` and per-record ``Reduce`` kernels are
+    resolved to C builtins (or hoisted out of the edge loop entirely)
+    when the algorithm declares a closed form — bit-identical,
+    including tie resolution (``Algorithm.reduce_op`` /
+    ``Algorithm.process_op``);
+  - an **event-driven no-backpressure window** is proven per cycle and
+    per network with one compare: with at most ``fifo_depth - radix``
+    records in flight, no FIFO can be over the block line, so no
+    stall, park or rejected offer is possible and the networks run
+    probe-free variants of ``advance``/``offer`` inside the window;
   - provably contention-free multi-cycle regions are fast-forwarded in
     bulk: once the front end has retired every vertex and the ePE
     queues are empty, the records still in flight can only march down
     the propagation network — a lone record warps straight to the final
     stage, and a final-stage-only population drains in closed form
     (``cycles = max queue length``), advancing the cycle/starvation
-    counters without ticking.
+    counters without ticking;
+  - for all-active algorithms, **whole scatter phases become structural
+    windows**: control flow never reads a property value, so a phase
+    whose ActiveVertex list and arbiter state match a recorded one is
+    replayed in closed form — counters advance by the recorded deltas
+    and only the float value plane re-executes (vectorized leaves plus
+    the recorded combining/delivery log; see
+    :mod:`repro.accel.phase_memo`).  :data:`FFWD_TELEMETRY` counts the
+    windows, fast-forwarded cycles and replayed events for the perf
+    probe.
 
 **Equivalence contract**: both engines must produce *identical*
 :class:`~repro.accel.stats.SimStats` — every counter, not just totals —
@@ -50,6 +69,7 @@ from collections import deque
 from repro.accel.backend import make_propagation, make_vertex_combiner
 from repro.accel.edge_access import _compatible_radix, make_edge_stage
 from repro.accel.frontend import make_frontend
+from repro.accel.phase_memo import PhaseMemo, PhaseProgram, PhaseRecorder
 from repro.errors import ConfigError, SimulationError
 from repro.hw.fifo import Fifo
 from repro.mdp.generator import generate_network
@@ -70,6 +90,28 @@ ENGINE_ENV_VAR = "REPRO_ENGINE"
 #: share cache entries.  Bump on any batched-engine change that has not
 #: yet been re-verified by the differential suite.
 _EQUIVALENCE_CLASS = "cycle-exact-v1"
+
+#: Process-wide event-driven fast-forward telemetry (diagnostics only —
+#: never part of :class:`~repro.accel.stats.SimStats`).  ``windows`` /
+#: ``cycles_fast_forwarded`` / ``events`` count whole-phase structural
+#: windows replayed in closed form and the value-plane ops that replaced
+#: them; ``cycles_simulated`` counts cycles actually marched.  The perf
+#: probe resets and snapshots this around a run (see
+#: :func:`reset_ffwd_telemetry`).  Being module-level, it aggregates
+#: across every engine in *this* process and sees nothing from sweep
+#: worker processes — callers that need attribution must read the
+#: per-engine ``ffwd_windows``/``ffwd_cycles``/``ffwd_events`` counters
+#: instead (the perf probe runs its jobs serially in-process precisely
+#: so this snapshot is exact; simulation results are never affected).
+FFWD_TELEMETRY = {"windows": 0, "cycles_fast_forwarded": 0,
+                  "cycles_simulated": 0, "events": 0}
+
+
+def reset_ffwd_telemetry() -> dict:
+    """Zero the fast-forward telemetry and return the live dict."""
+    for key in FFWD_TELEMETRY:
+        FFWD_TELEMETRY[key] = 0
+    return FFWD_TELEMETRY
 
 _ENGINE_EQUIVALENCE = {
     "reference": _EQUIVALENCE_CLASS,
@@ -237,18 +279,25 @@ def _routing_tables(plan) -> list[list[list[int]]]:
 
 
 class _FastMdpNet:
-    """MDP network with occupancy counts — cf. ``MdpNetworkSim``.
+    """MDP network with occupancy bitmasks — cf. ``MdpNetworkSim``.
 
     Items are flat tuples whose first element is the destination.  With
     ``combining`` enabled (propagation site), items are
     ``(dest, v, imm, count)`` and a mover whose vertex matches the
     target FIFO's tail merges via ``reduce_fn`` — the inlined
     equivalent of :func:`repro.accel.backend.make_vertex_combiner`.
+
+    The event-driven fast path is picked per cycle by a one-compare
+    window proof: with ``count <= block_len`` records in flight no FIFO
+    can be over the block line (a FIFO's length is bounded by the
+    total), so neither a stall nor a rejected offer is possible and
+    ``advance`` runs a probe-free no-backpressure variant.
     """
 
     __slots__ = ("channels", "radix", "depth", "num_stages", "queues",
                  "counts", "count", "table", "stall_events",
-                 "rejected_offers", "combining", "reduce_fn")
+                 "rejected_offers", "combining", "reduce_fn",
+                 "block_len")
 
     def __init__(self, channels: int, radix: int, fifo_depth: int,
                  combining: bool = False, reduce_fn=None) -> None:
@@ -270,6 +319,8 @@ class _FastMdpNet:
         self.rejected_offers = 0
         self.combining = combining
         self.reduce_fn = reduce_fn
+        #: a FIFO longer than this cannot accept a full radix burst
+        self.block_len = fifo_depth - radix
 
     # ------------------------------------------------------------------
     def offer(self, channel: int, item) -> bool:
@@ -281,7 +332,7 @@ class _FastMdpNet:
                 tq[-1] = (tail[0], tail[1],
                           self.reduce_fn(tail[2], item[2]), tail[3] + item[3])
                 return True
-            if self.depth - len(tq) < self.radix:
+            if len(tq) > self.block_len:
                 self.rejected_offers += 1
                 return False
         tq.append(item)
@@ -290,13 +341,63 @@ class _FastMdpNet:
         return True
 
     def advance(self) -> None:
-        """Move heads one stage forward, last stage first."""
+        """Move heads one stage forward, last stage first.
+
+        With ``count <= block_len`` records in flight no FIFO can be
+        over the block line (a FIFO's length is bounded by the total),
+        so no stall, park or threshold crossing is possible and the
+        no-backpressure variant below runs probe-free.
+        """
+        if self.count <= self.block_len:
+            self._advance_nobackpressure()
+        else:
+            self._advance_checked()
+
+    def _advance_nobackpressure(self) -> None:
         counts = self.counts
         queues = self.queues
         table = self.table
-        radix = self.radix
-        depth = self.depth
-        channels = self.channels
+        combining = self.combining
+        reduce_fn = self.reduce_fn
+        combined = 0
+        for s in range(self.num_stages - 1, 0, -1):
+            total = counts[s - 1]
+            if not total:
+                continue
+            cur = queues[s]
+            tbl = table[s]
+            popped = 0
+            moved = 0
+            seen = 0
+            for p, queue in enumerate(queues[s - 1]):
+                if not queue:
+                    continue
+                seen += 1
+                item = queue[0]
+                tq = cur[tbl[p][item[0]]]
+                if tq and combining and tq[-1][1] == item[1]:
+                    tail = tq[-1]
+                    tq[-1] = (tail[0], tail[1],
+                              reduce_fn(tail[2], item[2]),
+                              tail[3] + item[3])
+                    queue.popleft()
+                    combined += 1
+                else:
+                    tq.append(queue.popleft())
+                    moved += 1
+                popped += 1
+                if seen == total:
+                    break
+            counts[s - 1] -= popped
+            counts[s] += moved
+        if combined:
+            self.count -= combined
+
+    def _advance_checked(self) -> None:
+        counts = self.counts
+        queues = self.queues
+        table = self.table
+        block_len = self.block_len
         combining = self.combining
         reduce_fn = self.reduce_fn
         combined = 0
@@ -305,14 +406,12 @@ class _FastMdpNet:
             total = counts[s - 1]
             if not total:
                 continue
-            prev = queues[s - 1]
             cur = queues[s]
             tbl = table[s]
             cprev = total
             moved = 0
             seen = 0
-            for p in range(channels):
-                queue = prev[p]
+            for p, queue in enumerate(queues[s - 1]):
                 if not queue:
                     continue
                 seen += 1
@@ -330,7 +429,7 @@ class _FastMdpNet:
                         if seen == total:
                             break
                         continue
-                    if depth - len(tq) < radix:
+                    if len(tq) > block_len:
                         stalled += 1
                         if seen == total:
                             break
@@ -370,6 +469,28 @@ class _FastMdpNet:
         self.counts[last] -= got
         self.count -= got
         return got, reduces
+
+    def deliver_into(self, sinks: list, sink_depth: int) -> int:
+        """Pop one item per occupied final-stage FIFO into per-position
+        ``sinks`` honouring ``sink_depth``; returns items popped."""
+        last = self.num_stages - 1
+        total = self.counts[last]
+        if not total:
+            return 0
+        popped = 0
+        seen = 0
+        for p, queue in enumerate(self.queues[last]):
+            if queue:
+                seen += 1
+                sink = sinks[p]
+                if len(sink) < sink_depth:
+                    sink.append(queue.popleft())
+                    popped += 1
+                if seen == total:
+                    break
+        self.counts[last] -= popped
+        self.count -= popped
+        return popped
 
     # -- fast-forward helpers ------------------------------------------
     def warp_single(self) -> int:
@@ -558,12 +679,19 @@ class _FastXbar:
 
 
 class _FastRangeNet:
-    """Range-splitting network with counts — cf. RangeSplitNetwork."""
+    """Range-splitting network with counts — cf. RangeSplitNetwork.
+
+    The same one-compare no-backpressure window proof as in
+    :class:`_FastMdpNet` selects a probe-free ``advance`` / ``offer``
+    variant whenever the total in-flight count fits under the block
+    line (no combining exists at this site, so the light path is a
+    pure move/split engine).
+    """
 
     __slots__ = ("banks", "num_dispatchers", "group_width", "radix",
                  "depth", "num_stages", "queues", "counts", "count",
                  "stage_block", "stage_ports", "stall_events",
-                 "rejected_offers")
+                 "rejected_offers", "block_len")
 
     def __init__(self, banks: int, num_dispatchers: int, radix: int,
                  fifo_depth: int) -> None:
@@ -589,6 +717,7 @@ class _FastRangeNet:
             self.stage_ports.append(ports)
         self.stall_events = 0
         self.rejected_offers = 0
+        self.block_len = fifo_depth - radix
 
     # ------------------------------------------------------------------
     def _try_insert(self, stage: int, entry_pos: int, off: int, length: int,
@@ -596,14 +725,14 @@ class _FastRangeNet:
         block = self.stage_block[stage]
         ports = self.stage_ports[stage][entry_pos]
         radix = self.radix
-        depth = self.depth
+        block_len = self.block_len
         queues = self.queues[stage]
         # split at block-aligned bank boundaries (cf. split_by_blocks)
         start_bank = off % self.banks
         rel = start_bank % block
         if rel + length <= block:       # common case: the piece fits one block
             q = queues[ports[(start_bank // block) % radix]]
-            if depth - len(q) < radix:
+            if len(q) > block_len:
                 return False
             q.append((off, length, payload))
             self.counts[stage] += 1
@@ -613,13 +742,13 @@ class _FastRangeNet:
         while length > 0:
             room = block - (start_bank % block)
             take = length if length < room else room
-            targets.append((ports[(start_bank // block) % radix], off, take))
+            t = ports[(start_bank // block) % radix]
+            if len(queues[t]) > block_len:
+                return False        # bail before building the whole split
+            targets.append((t, off, take))
             off += take
             start_bank += take
             length -= take
-        for t, _, _ in targets:
-            if depth - len(queues[t]) < radix:
-                return False
         for t, s_off, s_len in targets:
             queues[t].append((s_off, s_len, payload))
         added = len(targets)
@@ -627,31 +756,102 @@ class _FastRangeNet:
         self.count += added
         return True
 
+    def _insert_light(self, stage: int, entry_pos: int, off: int,
+                      length: int, payload) -> None:
+        """``_try_insert`` when no FIFO can be full (count under line)."""
+        block = self.stage_block[stage]
+        ports = self.stage_ports[stage][entry_pos]
+        radix = self.radix
+        queues = self.queues[stage]
+        start_bank = off % self.banks
+        rel = start_bank % block
+        if rel + length <= block:
+            queues[ports[(start_bank // block) % radix]].append(
+                (off, length, payload))
+            self.counts[stage] += 1
+            self.count += 1
+            return
+        added = 0
+        while length > 0:
+            room = block - (start_bank % block)
+            take = length if length < room else room
+            queues[ports[(start_bank // block) % radix]].append(
+                (off, take, payload))
+            off += take
+            start_bank += take
+            length -= take
+            added += 1
+        self.counts[stage] += added
+        self.count += added
+
     def offer(self, channel: int, off: int, length: int, payload) -> bool:
+        if self.count <= self.block_len:
+            self._insert_light(0, channel, off, length, payload)
+            return True
         if self._try_insert(0, channel, off, length, payload):
             return True
         self.rejected_offers += 1
         return False
 
     def advance(self) -> None:
+        if self.count <= self.block_len:
+            self._advance_nobackpressure()
+        else:
+            self._advance_checked()
+
+    def _advance_nobackpressure(self) -> None:
         counts = self.counts
         queues = self.queues
         banks = self.banks
         radix = self.radix
-        depth = self.depth
         for s in range(self.num_stages - 1, 0, -1):
             total = counts[s - 1]
             if not total:
                 continue
-            prev = queues[s - 1]
+            cur = queues[s]
+            block = self.stage_block[s]
+            ports = self.stage_ports[s]
+            seen = 0
+            moved = 0
+            for p, queue in enumerate(queues[s - 1]):
+                if not queue:
+                    continue
+                seen += 1
+                item = queue[0]
+                start_bank = item[0] % banks
+                rel = start_bank % block
+                if rel + item[1] <= block:      # fits one block: plain move
+                    cur[ports[p][(start_bank // block) % radix]].append(
+                        queue.popleft())
+                    moved += 1
+                else:
+                    self._insert_light(s, p, item[0], item[1], item[2])
+                    queue.popleft()
+                    counts[s - 1] -= 1
+                    self.count -= 1
+                if seen == total:
+                    break
+            if moved:
+                counts[s - 1] -= moved
+                counts[s] += moved
+
+    def _advance_checked(self) -> None:
+        counts = self.counts
+        queues = self.queues
+        banks = self.banks
+        radix = self.radix
+        block_len = self.block_len
+        for s in range(self.num_stages - 1, 0, -1):
+            total = counts[s - 1]
+            if not total:
+                continue
             cur = queues[s]
             block = self.stage_block[s]
             ports = self.stage_ports[s]
             seen = 0
             moved = 0
             stalled = 0
-            for p in range(self.num_dispatchers):
-                queue = prev[p]
+            for p, queue in enumerate(queues[s - 1]):
                 if not queue:
                     continue
                 seen += 1
@@ -660,11 +860,11 @@ class _FastRangeNet:
                 rel = start_bank % block
                 if rel + item[1] <= block:      # fits one block: plain move
                     tq = cur[ports[p][(start_bank // block) % radix]]
-                    if depth - len(tq) >= radix:
+                    if len(tq) > block_len:
+                        stalled += 1
+                    else:
                         tq.append(queue.popleft())
                         moved += 1
-                    else:
-                        stalled += 1
                 elif self._try_insert(s, p, item[0], item[1], item[2]):
                     queue.popleft()
                     counts[s - 1] -= 1
@@ -785,9 +985,20 @@ class BatchedEngine:
         self.n = config.front_channels
         self.m = config.back_channels
         alg = sim.algorithm
-        self.reduce_fn = alg.reduce
+        self.reduce_fn = alg.scalar_reduce_fn()
         self.process_fn = alg.process_edge
-        self.identity_process = alg.process_is_identity
+        #: per-edge kernel shape: 0 identity, 1 weight-independent
+        #: (hoistable per request), 2 ``payload + w``, 3 ``min``, 4 call
+        if alg.process_is_identity:
+            self._proc = 0
+        elif not alg.uses_weights:
+            self._proc = 1
+        elif alg.process_op == "add":
+            self._proc = 2
+        elif alg.process_op == "min":
+            self._proc = 3
+        else:
+            self._proc = 4
         self.out_degree = sim.out_degree
         self.dst = sim._dst
         self.weights = sim._weights
@@ -798,9 +1009,9 @@ class BatchedEngine:
         self.dst_mod = (sim.graph.dst % m).tolist()
 
         if config.propagation_site == "mdp":
-            self.prop = _BatchedMdpPropagation(config, alg.reduce)
+            self.prop = _BatchedMdpPropagation(config, self.reduce_fn)
         else:
-            self.prop = _BatchedXbarPropagation(config, alg.reduce)
+            self.prop = _BatchedXbarPropagation(config, self.reduce_fn)
 
         # ActiveVertex parts: per-channel flat rings (lists + head index),
         # rebuilt from numpy slices at the top of every scatter phase.
@@ -817,6 +1028,20 @@ class BatchedEngine:
         self.epe_q = [deque() for _ in range(m)]    # (dst % m, dst, imm, 1)
         self.epe_count = 0
         self.epe_depth = config.epe_queue_depth
+        #: event-driven fast-forward telemetry (not part of SimStats)
+        self.ffwd_windows = 0
+        self.ffwd_cycles = 0
+        self.ffwd_events = 0
+        #: whole-phase structural windows (see repro.accel.phase_memo):
+        #: only all-active algorithms re-present identical frontiers
+        self.phase_memo = PhaseMemo() if alg.all_active else None
+        self.algorithm = alg
+        self._true_reduce = self.reduce_fn
+        self._rec_news: list | None = None
+        self._offsets_np = sim.graph.offsets
+        self._dst_np = sim.graph.dst
+        self._weights_np = sim.graph.weights
+        self.num_vertices = sim.graph.num_vertices
 
         # -- frontend (site ①) -----------------------------------------
         self.offsets = sim.graph.offsets.tolist()
@@ -874,11 +1099,140 @@ class BatchedEngine:
             #: provable no-op
             self.ce_stall: tuple | None = None
             self._edge_tick = self._edge_tick_central
+        self._build_memo_sites()
+
+    # ------------------------------------------------------------------
+    # Whole-phase structural windows (see repro.accel.phase_memo)
+    # ------------------------------------------------------------------
+    def _arb_state(self) -> tuple:
+        """Persistent control state a phase's cycle evolution depends on.
+
+        Everything else (queues, parts, per-phase counters) is empty or
+        fresh at phase boundaries; parked-offer masks are provably zero
+        once a phase drains, but they join the key anyway so a bug here
+        could only ever *miss* a window, never corrupt one.
+        """
+        if self.config.offset_site == "mdp":
+            front: tuple = (self.parity,)
+        else:
+            front = (self.fstart, tuple(self.fxbar.rr))
+        if self.edge_is_mdp:
+            edge: tuple = (tuple(self.disp_stall), tuple(self.rp_rr))
+        else:
+            edge = (self.ce_stall,)
+        if self.config.propagation_site == "mdp":
+            prop: tuple = ()
+        else:
+            prop = (tuple(self.prop.xbar.rr),)
+        return (front, edge, prop)
+
+    def _restore_arb_state(self, state: tuple) -> None:
+        front, edge, prop = state
+        if self.config.offset_site == "mdp":
+            (self.parity,) = front
+        else:
+            self.fstart = front[0]
+            self.fxbar.rr[:] = front[1]
+        if self.edge_is_mdp:
+            self.disp_stall[:] = edge[0]
+            self.rp_rr[:] = edge[1]
+        else:
+            (self.ce_stall,) = edge
+        if self.config.propagation_site != "mdp":
+            self.prop.xbar.rr[:] = prop[0]
+
+    def _build_memo_sites(self) -> None:
+        """Counter and Reduce locations the record/replay pass touches."""
+        sites: list = [(self, "deferrals")]
+        if self.config.offset_site == "mdp":
+            sites += [(self.fnet, "stall_events"),
+                      (self.fnet, "rejected_offers")]
+        else:
+            sites += [(self.fxbar, "conflicts")]
+        if self.edge_is_mdp:
+            sites += [(self, "disp_blocked")]
+            if self.rnet is not None:
+                sites += [(self.rnet, "stall_events"),
+                          (self.rnet, "rejected_offers")]
+        else:
+            sites += [(self, "window_conflicts")]
+        if self.config.propagation_site == "mdp":
+            sites += [(self.prop.net, "stall_events"),
+                      (self.prop.net, "rejected_offers")]
+        else:
+            sites += [(self.prop.xbar, "conflicts")]
+        self._counter_sites = sites
+        reduce_sites: list = [(self, "reduce_fn")]
+        if self.config.propagation_site == "mdp":
+            reduce_sites += [(self.prop.net, "reduce_fn")]
+        else:
+            reduce_sites += [(self.prop, "reduce_fn"),
+                             (self.prop.xbar, "reduce_fn")]
+        self._reduce_sites = reduce_sites
+
+    def _replay_phase(self, prog, sprop_all, tprop: list, stats) -> None:
+        """Fast-forward one proven-identical phase in closed form."""
+        d = prog.stat_deltas
+        stats.scatter_cycles += d["scatter_cycles"]
+        stats.vpe_starvation_cycles += d["vpe_starvation_cycles"]
+        stats.vpe_busy_cycles += d["vpe_busy_cycles"]
+        stats.edges_processed += d["edges_processed"]
+        for (obj, attr), delta in zip(self._counter_sites,
+                                      prog.counter_deltas):
+            if delta:
+                setattr(obj, attr, getattr(obj, attr) + delta)
+        self._restore_arb_state(prog.end_state)
+        prog.value_pass(self.algorithm, sprop_all, self._weights_np, tprop)
+        events = (len(prog.news_e) + len(prog.merge_a)
+                  + len(prog.deliver_slots))
+        self.ffwd_windows += 1
+        self.ffwd_cycles += prog.cycles
+        self.ffwd_events += events
+        FFWD_TELEMETRY["windows"] += 1
+        FFWD_TELEMETRY["cycles_fast_forwarded"] += prog.cycles
+        FFWD_TELEMETRY["events"] += events
+
+    def _finish_recording(self, key: tuple, prog, counters0: list,
+                          cycles: int, starved: int, busy: int,
+                          reduces: int, sprop_all, tprop: list) -> None:
+        for obj, attr in self._reduce_sites:
+            setattr(obj, attr, self._true_reduce)
+        self._rec_news = None
+        prog.stat_deltas = {"scatter_cycles": cycles,
+                            "vpe_starvation_cycles": starved,
+                            "vpe_busy_cycles": busy,
+                            "edges_processed": reduces}
+        prog.counter_deltas = [getattr(obj, attr) - before
+                               for (obj, attr), before
+                               in zip(self._counter_sites, counters0)]
+        prog.end_state = self._arb_state()
+        prog.cycles = cycles
+        prog.finalize(self._offsets_np, self._dst_np)
+        prog.value_pass(self.algorithm, sprop_all, self._weights_np, tprop)
+        self.phase_memo.store(key, prog)
 
     # ------------------------------------------------------------------
     # Scatter phase
     # ------------------------------------------------------------------
     def scatter(self, active, sprop_all, tprop: list, stats) -> None:
+        recorder = None
+        memo = self.phase_memo
+        if memo is not None:
+            key = self._arb_state()
+            prog = memo.lookup(key, active)
+            if prog is not None:
+                self._replay_phase(prog, sprop_all, tprop, stats)
+                return
+            if memo.can_record(key):
+                prog = PhaseProgram(active.copy())
+                recorder = PhaseRecorder(prog)
+                caller_tprop = tprop
+                tprop = [None] * self.num_vertices
+                self._rec_news = recorder.news_e
+                for obj, attr in self._reduce_sites:
+                    setattr(obj, attr, recorder.reduce)
+                counters0 = [getattr(obj, attr)
+                             for obj, attr in self._counter_sites]
         n, m = self.n, self.m
         size = int(active.size)
         if size:
@@ -920,8 +1274,7 @@ class BatchedEngine:
             table0 = pnet.table[0]
             queues0 = pnet.queues[0]
             combining = pnet.combining
-            p_depth = pnet.depth
-            p_radix = pnet.radix
+            p_block = pnet.block_len
             reduce_fn = self.reduce_fn
             pnet_deliver = pnet.deliver_reduce
             pnet_advance = pnet.advance
@@ -967,8 +1320,7 @@ class BatchedEngine:
                 consumed = 0
                 added = 0
                 seen = 0
-                for k in range(m):
-                    q = epe_q[k]
+                for k, q in enumerate(epe_q):
                     if q:
                         seen += 1
                         item = q[0]
@@ -981,7 +1333,7 @@ class BatchedEngine:
                                           tail[3] + item[3])
                                 q.popleft()
                                 consumed += 1
-                            elif p_depth - len(tq) < p_radix:
+                            elif len(tq) > p_block:
                                 pnet.rejected_offers += 1
                             else:
                                 tq.append(item)
@@ -1001,8 +1353,7 @@ class BatchedEngine:
             elif total:
                 consumed = 0
                 seen = 0
-                for k in range(m):
-                    q = epe_q[k]
+                for k, q in enumerate(epe_q):
                     if q:
                         seen += 1
                         if xbar_offer(k, q[0]):
@@ -1020,6 +1371,11 @@ class BatchedEngine:
             stats.vpe_starvation_cycles += starved
             stats.vpe_busy_cycles += busy
             stats.edges_processed += reduces
+            FFWD_TELEMETRY["cycles_simulated"] += cycles
+            if recorder is not None:
+                self._finish_recording(key, recorder.prog, counters0,
+                                       cycles, starved, busy, reduces,
+                                       sprop_all, caller_tprop)
             return
         raise SimulationError(
             f"scatter did not converge within {limit} cycles "
@@ -1078,8 +1434,40 @@ class BatchedEngine:
             self.parts_alive = [p for p in self.parts_alive
                                 if heads[p] < len(parts_u[p])]
 
+    def _inject_parts_mdp(self) -> None:
+        """`_inject_parts` with the MDP stage-0 offer inlined."""
+        net = self.fnet
+        n = self.n
+        table0 = net.table[0]
+        queues0 = net.queues[0]
+        block_len = net.block_len
+        parts_u, parts_sp, heads = self.parts_u, self.parts_sp, self.parts_head
+        exhausted = 0
+        added = 0
+        for p in self.parts_alive:
+            lst = parts_u[p]
+            h = heads[p]
+            u = lst[h]
+            tq = queues0[table0[p][u % n]]
+            if tq and len(tq) > block_len:
+                net.rejected_offers += 1
+                continue
+            tq.append((u % n, u, parts_sp[p][h]))
+            added += 1
+            h += 1
+            heads[p] = h
+            if h == len(lst):
+                exhausted += 1
+        if added:
+            net.counts[0] += added
+            net.count += added
+        if exhausted:
+            self.parts_alive = [p for p in self.parts_alive
+                                if heads[p] < len(parts_u[p])]
+
     def _frontend_tick_mdp(self) -> int:
         n = self.n
+        net = self.fnet
         retired = 0
         # -- issue: §4.1 odd-even arbitration over the request heads
         if self.issue_count:
@@ -1088,7 +1476,6 @@ class BatchedEngine:
             issue_q = self.issue_q
             parity = self.parity
             claimed: dict[int, int] | None = None
-            deferred: list[tuple[int, int]] = []
             for ch in range(parity, n, 2):      # priority parity: grant
                 q = issue_q[ch]
                 if q and len(fe_out[ch]) < fe_depth:
@@ -1115,23 +1502,13 @@ class BatchedEngine:
                         self.deferrals += 1
         self.parity ^= 1
         # -- route: deliver into issue queues, advance, inject parts
-        net = self.fnet
-        last = net.num_stages - 1
-        if net.counts[last]:
-            issue_q = self.issue_q
-            issue_depth = self.issue_depth
-            popped = 0
-            for p, q in enumerate(net.queues[last]):
-                if q and len(issue_q[p]) < issue_depth:
-                    issue_q[p].append(q.popleft())
-                    popped += 1
-            net.counts[last] -= popped
-            net.count -= popped
-            self.issue_count += popped
+        if net.counts[net.num_stages - 1]:
+            self.issue_count += net.deliver_into(self.issue_q,
+                                                 self.issue_depth)
         if net.count:
             net.advance()
         if self.parts_alive:
-            self._inject_parts(net.offer)
+            self._inject_parts_mdp()
         return retired
 
     def _frontend_tick_xbar(self) -> int:
@@ -1189,7 +1566,8 @@ class BatchedEngine:
             dst_mod = self.dst_mod
             weights = self.weights
             process = self.process_fn
-            identity = self.identity_process
+            proc = self._proc
+            rec_news = self._rec_news
             disp_stall = self.disp_stall
             issued = 0
             for d, q in enumerate(self.disp_q):
@@ -1216,9 +1594,32 @@ class BatchedEngine:
                     continue
                 q.popleft()
                 issued += 1
-                if identity:
+                if rec_news is not None:
+                    # recording: immediates are slot ids (phase_memo)
+                    for eidx in range(off, off + length):
+                        epe_q[bank].append((dst_mod[eidx], dst[eidx],
+                                            len(rec_news), 1))
+                        rec_news.append(eidx)
+                        bank += 1
+                elif proc == 0:                 # identity kernel
                     for eidx in range(off, off + length):
                         epe_q[bank].append((dst_mod[eidx], dst[eidx], payload, 1))
+                        bank += 1
+                elif proc == 2:                 # payload + weight
+                    for eidx in range(off, off + length):
+                        epe_q[bank].append((dst_mod[eidx], dst[eidx],
+                                            payload + weights[eidx], 1))
+                        bank += 1
+                elif proc == 3:                 # min(payload, weight)
+                    for eidx in range(off, off + length):
+                        w = weights[eidx]
+                        epe_q[bank].append((dst_mod[eidx], dst[eidx],
+                                            payload if payload < w else w, 1))
+                        bank += 1
+                elif proc == 1:                 # weight-independent kernel
+                    pv = process(payload, 0)
+                    for eidx in range(off, off + length):
+                        epe_q[bank].append((dst_mod[eidx], dst[eidx], pv, 1))
                         bank += 1
                 else:
                     for eidx in range(off, off + length):
@@ -1235,9 +1636,9 @@ class BatchedEngine:
                 disp_q = self.disp_q
                 disp_depth = self.disp_depth
                 popped = 0
-                for d, q in enumerate(rnet.queues[last]):
-                    if q and len(disp_q[d]) < disp_depth:
-                        disp_q[d].append(q.popleft())
+                for d, queue in enumerate(rnet.queues[last]):
+                    if queue and len(disp_q[d]) < disp_depth:
+                        disp_q[d].append(queue.popleft())
                         popped += 1
                 rnet.counts[last] -= popped
                 rnet.count -= popped
@@ -1335,7 +1736,8 @@ class BatchedEngine:
             dst_mod = self.dst_mod
             weights = self.weights
             process = self.process_fn
-            identity = self.identity_process
+            proc = self._proc
+            rec_news = self._rec_news
             claimed: set[int] = set()
             issued_requests = 0
             while queue and issued_requests < self.ce_issue_limit:
@@ -1359,13 +1761,50 @@ class BatchedEngine:
                     if not claimed:      # nothing issued: memoize the block
                         self.ce_stall = (off, length, (off + j) % m)
                     break
-                for j in range(k):
-                    eidx = off + j
-                    b = eidx % m
-                    epe_q[b].append((dst_mod[eidx], dst[eidx],
-                                     payload if identity
-                                     else process(payload, weights[eidx]), 1))
-                    claimed.add(b)
+                if rec_news is not None:
+                    # recording: immediates are slot ids (phase_memo)
+                    for j in range(k):
+                        eidx = off + j
+                        b = eidx % m
+                        epe_q[b].append((dst_mod[eidx], dst[eidx],
+                                         len(rec_news), 1))
+                        rec_news.append(eidx)
+                        claimed.add(b)
+                elif proc == 0:                 # identity kernel
+                    for j in range(k):
+                        eidx = off + j
+                        b = eidx % m
+                        epe_q[b].append((dst_mod[eidx], dst[eidx], payload, 1))
+                        claimed.add(b)
+                elif proc == 2:                 # payload + weight
+                    for j in range(k):
+                        eidx = off + j
+                        b = eidx % m
+                        epe_q[b].append((dst_mod[eidx], dst[eidx],
+                                         payload + weights[eidx], 1))
+                        claimed.add(b)
+                elif proc == 3:                 # min(payload, weight)
+                    for j in range(k):
+                        eidx = off + j
+                        b = eidx % m
+                        w = weights[eidx]
+                        epe_q[b].append((dst_mod[eidx], dst[eidx],
+                                         payload if payload < w else w, 1))
+                        claimed.add(b)
+                elif proc == 1:                 # weight-independent kernel
+                    pv = process(payload, 0)
+                    for j in range(k):
+                        eidx = off + j
+                        b = eidx % m
+                        epe_q[b].append((dst_mod[eidx], dst[eidx], pv, 1))
+                        claimed.add(b)
+                else:
+                    for j in range(k):
+                        eidx = off + j
+                        b = eidx % m
+                        epe_q[b].append((dst_mod[eidx], dst[eidx],
+                                         process(payload, weights[eidx]), 1))
+                        claimed.add(b)
                 self.epe_count += k
                 if k == length:
                     queue.popleft()

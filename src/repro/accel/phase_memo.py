@@ -1,0 +1,154 @@
+"""Whole-phase structural windows: record one scatter phase, replay its twins.
+
+The batched engine's strongest fast-forward rests on one invariant of
+the simulated machine: **no control-flow decision in a scatter phase
+reads a property value**.  Routing digits, arbitration winners, queue
+capacities, vertex-combining probes (vertex-id equality), window
+conflicts and convergence checks are all pure functions of the graph
+structure, the presented ActiveVertex list, and the engine's
+persistent arbiter state.  Float immediates only *ride along*.
+
+For an all-active algorithm (PageRank) every iteration presents the
+same ActiveVertex list, so when the arbiter state also matches a
+previously simulated phase, the entire cycle evolution is provably
+identical — the whole phase is one verified window.  The engine then:
+
+* advances every ``SimStats`` counter and every conflict counter by
+  the recorded per-phase delta (closed form, zero cycles ticked);
+* restores the recorded end-of-phase arbiter state;
+* re-executes only the *value plane*: leaf immediates are produced in
+  one vectorized pass (``Process_Edge`` over the recorded edge ids),
+  then the recorded vertex-combining merge log and delivery log replay
+  the exact float-reduction tree of the simulated hardware, in the
+  exact order — so tProperty comes out byte-identical.
+
+Recording piggybacks on the first simulation of a phase at near-zero
+cost: immediates are replaced by integer *slot ids* and the
+``Reduce`` callable by a logging shim (merges append ``(a, b)`` and
+keep the tail's slot, exactly like the hardware's in-FIFO combining;
+deliveries — recognized because the tProperty accumulator is the
+``None`` sentinel — append the delivered slot).  The value pass that
+closes the recording also fills the caller's tProperty, so iteration
+one needs no second simulation.
+
+If any of this reasoning were wrong for some configuration, the
+differential suite and the perf probe's built-in ``stats_identical``
+check would fail loudly — the memo never silently changes results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PhaseProgram:
+    """One recorded scatter phase: structure log + counter deltas."""
+
+    __slots__ = ("active", "news_e", "merge_a", "merge_b",
+                 "deliver_slots", "deliver_dv", "leaf_u",
+                 "stat_deltas", "counter_deltas", "end_state", "cycles")
+
+    def __init__(self, active: np.ndarray) -> None:
+        self.active = active
+        self.news_e: list = []          # leaf slot -> edge index
+        self.merge_a: list = []         # combining log: tail slots
+        self.merge_b: list = []         # combining log: merged-in slots
+        self.deliver_slots: list = []   # delivery log, in delivery order
+        self.deliver_dv: list = []      # destination vertex per delivery
+        self.leaf_u: np.ndarray | None = None   # source vertex per leaf
+        self.stat_deltas: dict = {}
+        self.counter_deltas: dict = {}
+        self.end_state: tuple = ()
+        self.cycles = 0
+
+    # ------------------------------------------------------------------
+    def finalize(self, offsets: np.ndarray, dst: np.ndarray) -> None:
+        """Derive the structural arrays the value pass needs."""
+        e = np.asarray(self.news_e, dtype=np.int64)
+        self.news_e = e
+        # the CSR row containing edge e is its source vertex
+        self.leaf_u = np.searchsorted(offsets, e, side="right") - 1
+        slots = np.asarray(self.deliver_slots, dtype=np.int64)
+        self.deliver_slots = slots.tolist()
+        self.deliver_dv = dst[e[slots]].tolist() if len(slots) else []
+
+    # ------------------------------------------------------------------
+    def value_pass(self, algorithm, sprop_all: np.ndarray,
+                   weights: np.ndarray, tprop: list) -> None:
+        """Re-execute the float plane of the recorded phase.
+
+        Leaves are vectorized; the merge and delivery loops replay the
+        recorded reduction tree node for node, so every float op runs
+        with the same operands in the same order as the simulated
+        hardware's vPEs and combining units.
+        """
+        e = self.news_e
+        if len(e) == 0:
+            return
+        leaf = sprop_all[self.leaf_u]
+        if not algorithm.process_is_identity:
+            leaf = algorithm.process_edge_vec(leaf, weights[e])
+        vals = leaf.tolist()
+        reduce_fn = algorithm.scalar_reduce_fn()
+        for a, b in zip(self.merge_a, self.merge_b):
+            vals[a] = reduce_fn(vals[a], vals[b])
+        for dv, s in zip(self.deliver_dv, self.deliver_slots):
+            tprop[dv] = reduce_fn(tprop[dv], vals[s])
+
+
+class PhaseMemo:
+    """Arbiter-state-keyed store of recorded phases for one engine.
+
+    One recorded phase that is never replayed is pure overhead, and a
+    first miss proves the arbiter state does not return to its start
+    (the phase map is deterministic, so later phases will keep missing
+    the same way) — after a miss no further phases are recorded.
+    """
+
+    __slots__ = ("programs", "missed")
+
+    def __init__(self) -> None:
+        self.programs: dict = {}
+        self.missed = False
+
+    def lookup(self, state_key: tuple, active: np.ndarray):
+        prog = self.programs.get(state_key)
+        if prog is not None and np.array_equal(prog.active, active):
+            return prog
+        if self.programs:
+            self.missed = True
+        return None
+
+    def can_record(self, state_key: tuple) -> bool:
+        return not self.missed and state_key not in self.programs
+
+    def store(self, state_key: tuple, prog: PhaseProgram) -> None:
+        self.programs[state_key] = prog
+
+
+class PhaseRecorder:
+    """Live logging shims for the phase being recorded."""
+
+    __slots__ = ("prog", "news_e", "merge_a", "merge_b", "deliver")
+
+    def __init__(self, prog: PhaseProgram) -> None:
+        self.prog = prog
+        self.news_e = prog.news_e
+        self.merge_a = prog.merge_a
+        self.merge_b = prog.merge_b
+        self.deliver = prog.deliver_slots
+
+    def reduce(self, a, b):
+        """Stand-in for ``Reduce`` while immediates are slot ids.
+
+        A merge keeps the tail's slot (the hardware folds the mover
+        into the FIFO tail); a delivery — the accumulator is the
+        ``None`` sentinel the recorder put in tProperty — logs the
+        delivered slot and leaves the sentinel in place.
+        """
+        if a is None:
+            self.deliver.append(b)
+            return None
+        self.merge_a.append(a)
+        self.merge_b.append(b)
+        return a

@@ -18,11 +18,17 @@ model).  Both must agree — tests enforce it.
 
 from __future__ import annotations
 
+import operator
 from abc import ABC, abstractmethod
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+
+#: C-level scalar equivalents of the declared ``reduce_op`` forms; the
+#: builtins return the first argument on ties, exactly like the
+#: ``imm if imm < acc else acc`` hand-written reductions.
+_SCALAR_REDUCE = {"min": min, "max": max, "add": operator.add}
 
 
 class Algorithm(ABC):
@@ -41,6 +47,19 @@ class Algorithm(ABC):
     #: (PageRank, label propagation).  Lets cycle engines skip the
     #: per-edge kernel call without changing a single produced value.
     process_is_identity: bool = False
+    #: Declares ``reduce`` as one of the closed forms "min" / "max" /
+    #: "add" (ties resolve to the accumulator, exactly like the
+    #: ``imm if imm < acc else acc`` implementations), or ``None`` for
+    #: an arbitrary reduction.  Lets cycle engines substitute the C
+    #: builtin without changing a single produced bit.
+    reduce_op: str | None = None
+    #: Declares ``process_edge`` as "add" (``sprop + weight``) or
+    #: "min" (``min(sprop, weight)``, ties to ``sprop``) so cycle
+    #: engines can inline the per-edge kernel; ``None`` keeps the
+    #: method call.  Ignored when ``process_is_identity`` is set, and
+    #: irrelevant when ``uses_weights`` is False (the kernel is then a
+    #: per-request constant engines may hoist out of the edge loop).
+    process_op: str | None = None
 
     # ------------------------------------------------------------------
     # State initialisation
@@ -81,6 +100,15 @@ class Algorithm(ABC):
     @abstractmethod
     def reduce(self, acc: float, imm: float) -> float:
         """Scalar Reduce (cycle-simulator vPE kernel)."""
+
+    def scalar_reduce_fn(self):
+        """Fastest callable computing exactly ``self.reduce``.
+
+        Resolves the declared ``reduce_op`` to the C builtin when one
+        exists (bit-identical, including tie resolution), else returns
+        the bound ``reduce`` itself.
+        """
+        return _SCALAR_REDUCE.get(self.reduce_op, self.reduce)
 
     @abstractmethod
     def reduce_at(self, tprop: np.ndarray, dst: np.ndarray, imm: np.ndarray) -> None:

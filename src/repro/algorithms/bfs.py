@@ -16,6 +16,7 @@ from repro.graph.csr import CSRGraph
 class BFS(Algorithm):
     name = "BFS"
     uses_weights = False
+    reduce_op = "min"
 
     def init_prop(self, graph: CSRGraph, source: int) -> np.ndarray:
         prop = np.full(graph.num_vertices, np.inf, dtype=np.float64)

@@ -22,6 +22,7 @@ class ConnectedComponents(Algorithm):
     name = "CC"
     process_is_identity = True
     uses_weights = False
+    reduce_op = "min"
 
     def init_prop(self, graph: CSRGraph, source: int) -> np.ndarray:
         return np.arange(graph.num_vertices, dtype=np.float64)
@@ -59,6 +60,7 @@ class Reachability(Algorithm):
     name = "REACH"
     process_is_identity = True
     uses_weights = False
+    reduce_op = "max"
 
     def init_prop(self, graph: CSRGraph, source: int) -> np.ndarray:
         prop = np.zeros(graph.num_vertices, dtype=np.float64)

@@ -26,6 +26,7 @@ class PageRank(Algorithm):
     all_active = True
     uses_weights = False
     process_is_identity = True
+    reduce_op = "add"
 
     def __init__(self, damping: float = 0.85, iterations: int = 10) -> None:
         self.damping = damping

@@ -15,6 +15,8 @@ from repro.graph.csr import CSRGraph
 
 class SSSP(Algorithm):
     name = "SSSP"
+    reduce_op = "min"
+    process_op = "add"
 
     def init_prop(self, graph: CSRGraph, source: int) -> np.ndarray:
         prop = np.full(graph.num_vertices, np.inf, dtype=np.float64)

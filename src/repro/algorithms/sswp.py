@@ -17,6 +17,8 @@ from repro.graph.csr import CSRGraph
 
 class SSWP(Algorithm):
     name = "SSWP"
+    reduce_op = "max"
+    process_op = "min"
 
     def init_prop(self, graph: CSRGraph, source: int) -> np.ndarray:
         prop = np.zeros(graph.num_vertices, dtype=np.float64)

@@ -228,6 +228,130 @@ class TestEngineSelection:
         assert sim.engine_name == "batched"
 
 
+class TestWindowBoundaries:
+    """Adversarial cases for the event-driven fast-forward layer.
+
+    The batched engine picks a probe-free no-backpressure variant per
+    cycle (total in flight under the FIFO block line), bulk
+    fast-forwards contention-free drains, and replays whole recorded
+    phases for all-active algorithms (``repro.accel.phase_memo``).
+    These configurations force every boundary: windows that open and
+    close mid-drain, combining on the last pre-window cycle, minimum
+    depths where backpressure never clears, and arbiter states that
+    invalidate a recorded phase.
+    """
+
+    @pytest.fixture(scope="class")
+    def hub(self):
+        # one hot destination: maximum combining + deep hot queues
+        return star(150)
+
+    @pytest.fixture(scope="class")
+    def skewed(self):
+        return rmat(8, 6.0, seed=23, name="rmat8-23")
+
+    def test_minimum_depth_never_leaves_backpressure(self, skewed):
+        """fifo_depth == radix: the block line is zero, every nonempty
+        FIFO rejects, and the checked path runs end to end."""
+        cfg = higraph(fifo_depth=2, radix=2)
+        assert_engines_agree(cfg, skewed, "SSSP")
+        assert_engines_agree(cfg, skewed, "PR")
+
+    @pytest.mark.parametrize("depth", [3, 5, 11])
+    def test_window_opens_and_closes_mid_phase(self, depth, skewed):
+        """Shallow FIFOs keep the in-flight total crossing the block
+        line, flipping between the no-backpressure and checked variants
+        many times per phase (including mid-drain)."""
+        cfg = higraph(fifo_depth=depth, epe_queue_depth=2, fe_out_depth=2)
+        assert_engines_agree(cfg, skewed, "BFS")
+        assert_engines_agree(cfg, skewed, "SSWP")
+
+    def test_combining_on_the_last_prewindow_cycle(self, hub):
+        """A hot-vertex drain merges records right up to the cycle the
+        no-backpressure window opens; counters must not skew."""
+        for depth in (4, 8, 160):
+            assert_engines_agree(higraph(fifo_depth=depth), hub, "PR")
+            assert_engines_agree(higraph_mini(fifo_depth=depth), hub, "CC")
+
+    def test_combining_disabled_at_small_depth(self, hub):
+        cfg = higraph(vertex_combining=False, fifo_depth=4)
+        assert_engines_agree(cfg, hub, "PR")
+
+    def test_central_and_crossbar_sites_at_small_depth(self, skewed):
+        """GraphDynS-style sites under constant backpressure."""
+        cfg = graphdyns(fifo_depth=3, epe_queue_depth=2)
+        assert_engines_agree(cfg, skewed, "SSSP")
+        assert_engines_agree(cfg, skewed, "PR")
+
+    def test_phase_replay_fires_and_stays_exact(self, skewed):
+        """All-active phases replay from the recorded window (the memo
+        genuinely fires) and the result stays byte-identical."""
+        alg = make_algorithm("PR", iterations=6)
+        sim = AcceleratorSim(higraph_mini(), skewed, alg, engine="batched")
+        result = sim.run(source=0)
+        assert sim.engine.ffwd_windows > 0, (
+            "phase memo never replayed — the structural window "
+            "analyzer regressed")
+        ref = simulate(higraph_mini(), skewed,
+                       make_algorithm("PR", iterations=6),
+                       source=0, engine="reference")
+        assert result.stats.to_dict() == ref.stats.to_dict()
+        assert np.array_equal(result.properties, ref.properties)
+
+    def test_phase_replay_respects_arbiter_state(self, skewed):
+        """Configs whose arbiter state does not return to its start
+        must simply miss the memo — never replay a stale window."""
+        for maker in (higraph, graphdyns):
+            assert_engines_agree(maker(), skewed, "PR")
+
+    def test_sliced_mode_with_shallow_fifos(self):
+        graph = rmat(8, 6.0, seed=29, name="rmat8-29")
+        slices = partition_by_destination(graph, 3)
+        cfg = higraph(fifo_depth=5, epe_queue_depth=2)
+        results = {}
+        for engine in ENGINES:
+            sim = SlicedAcceleratorSim(cfg, graph, _make_algorithm("PR"),
+                                       slices=slices, engine=engine)
+            results[engine] = sim.run(source=0)
+        assert (results["batched"].stats.to_dict()
+                == results["reference"].stats.to_dict())
+        assert np.array_equal(results["batched"].properties,
+                              results["reference"].properties)
+
+    @pytest.mark.parametrize("seed", [41, 42])
+    def test_randomized_graphs_at_window_boundary_depths(self, seed):
+        graph = rmat(7, 7.0, seed=seed, name=f"rmat7-{seed}")
+        for depth in (2, 6):
+            cfg = higraph(front_channels=8, back_channels=8,
+                          fifo_depth=depth, dispatcher_group=2)
+            for algorithm in ("BFS", "SSSP", "PR"):
+                assert_engines_agree(cfg, graph, algorithm)
+
+
+class TestFastForwardTelemetry:
+    def test_probe_telemetry_counts_windows_and_cycles(self):
+        from repro.accel.engine import FFWD_TELEMETRY, reset_ffwd_telemetry
+        telemetry = reset_ffwd_telemetry()
+        assert telemetry == {"windows": 0, "cycles_fast_forwarded": 0,
+                             "cycles_simulated": 0, "events": 0}
+        graph = rmat(8, 6.0, seed=23, name="rmat8-23")
+        simulate(higraph_mini(), graph, make_algorithm("PR", iterations=6),
+                 engine="batched")
+        assert FFWD_TELEMETRY["cycles_simulated"] > 0
+        assert FFWD_TELEMETRY["windows"] > 0
+        assert FFWD_TELEMETRY["cycles_fast_forwarded"] > 0
+        assert FFWD_TELEMETRY["events"] > 0
+        reset_ffwd_telemetry()
+
+    def test_reference_engine_does_not_touch_telemetry(self):
+        from repro.accel.engine import FFWD_TELEMETRY, reset_ffwd_telemetry
+        reset_ffwd_telemetry()
+        graph = star(32)
+        simulate(higraph(), graph, _make_algorithm("BFS"),
+                 engine="reference")
+        assert FFWD_TELEMETRY["cycles_simulated"] == 0
+
+
 class TestBackendStateIsolation:
     """Regression: site-③ sink vectors must be per-instance.
 
