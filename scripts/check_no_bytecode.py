@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Fail when compiled Python bytecode is tracked by git.
+
+``__pycache__`` directories and ``.pyc``/``.pyo`` files are build
+artifacts; committing them bloats diffs and goes stale the moment the
+source changes (it happened once — commit 14fb013).  ``.gitignore``
+keeps new ones out of ``git add .``; this check keeps CI honest about
+anything that slips past it.  Run by ``scripts/ci.sh tests``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bytecode_paths(paths: list[str]) -> list[str]:
+    """The subset of ``paths`` that is compiled-bytecode artifacts."""
+    return [p for p in paths
+            if p.endswith((".pyc", ".pyo")) or "__pycache__" in p.split("/")]
+
+
+def tracked_files() -> list[str]:
+    out = subprocess.run(["git", "ls-files"], cwd=REPO_ROOT, check=True,
+                         capture_output=True, text=True)
+    return out.stdout.splitlines()
+
+
+def main(paths: list[str] | None = None) -> int:
+    """Check ``paths`` (default: the repo's tracked files) for bytecode."""
+    if paths is None:
+        paths = tracked_files()
+    bad = bytecode_paths(paths)
+    if bad:
+        for path in bad:
+            print(f"FAIL: compiled bytecode is tracked by git: {path}",
+                  file=sys.stderr)
+        print(f"check_no_bytecode: {len(bad)} tracked bytecode file(s) — "
+              "run `git rm --cached <path>` (they are .gitignore'd)",
+              file=sys.stderr)
+        return 1
+    print(f"check_no_bytecode OK: no __pycache__/.pyc paths among "
+          f"{len(paths)} tracked files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,9 @@ trap cleanup EXIT
 ci_mktemp_d() { local d; d="$(mktemp -d)"; CI_TMP_DIRS+=("$d"); echo "$d"; }
 
 stage_tests() {
+    echo "== tracked-bytecode guard (no committed __pycache__/.pyc) =="
+    python scripts/check_no_bytecode.py
+
     echo "== tier-1 tests (includes tests/test_engine_differential.py) =="
     python -m pytest -x -q
 }

@@ -19,8 +19,10 @@ Methodology
 * every pair's ``SimStats`` are compared: the probe doubles as a
   differential check and records ``stats_identical`` in the BENCH line;
 * the batched engine's event-driven fast-forward telemetry (whole-phase
-  windows replayed, cycles fast-forwarded vs simulated, value-plane
-  events) is snapshotted into the record.
+  windows replayed — partial ones via the shadow-frontend path — cycles
+  fast-forwarded vs simulated, value-plane events) is summed per job
+  into the record (the engine zeroes the process-wide counters at the
+  start of every run).
 
 Usage::
 
@@ -128,12 +130,7 @@ def build_record(pairs: list[dict], *, datasets: list[str],
         "machine": machine if machine is not None else platform.machine(),
     }
     if ffwd is not None:
-        record["ffwd"] = {
-            "windows": ffwd["windows"],
-            "cycles_fast_forwarded": ffwd["cycles_fast_forwarded"],
-            "cycles_simulated": ffwd["cycles_simulated"],
-            "events": ffwd["events"],
-        }
+        record["ffwd"] = dict(ffwd)
     return record
 
 
@@ -170,7 +167,7 @@ def main(argv=None) -> int:
         os.environ["REPRO_SCALE"] = str(args.scale)
     out_path = resolve_out_path(args.out)
 
-    from repro.accel.engine import engine_cache_token, reset_ffwd_telemetry
+    from repro.accel.engine import FFWD_TELEMETRY, engine_cache_token
     from repro.bench.harness import bench_scale, matrix_jobs
     from repro.graph import DATASET_ORDER
     from repro.sweep.executor import _GRAPH_MEMO, execute_job
@@ -188,7 +185,7 @@ def main(argv=None) -> int:
         if fingerprint not in _GRAPH_MEMO:
             _GRAPH_MEMO[fingerprint] = job.resolve_graph()
 
-    ffwd = reset_ffwd_telemetry()
+    ffwd = dict.fromkeys(FFWD_TELEMETRY, 0)
     pairs = []
     for job in jobs:
         seconds = {}
@@ -198,6 +195,11 @@ def main(argv=None) -> int:
             t0 = time.perf_counter()
             stats[engine] = execute_job(job).to_dict()
             seconds[engine] = time.perf_counter() - t0
+        # the batched engine zeroes the process-wide telemetry at the
+        # start of its run, so after the pair it holds exactly this
+        # job's numbers — accumulate per job for the record
+        for key in ffwd:
+            ffwd[key] += FFWD_TELEMETRY[key]
         pair = pair_result(job.describe(), seconds, stats)
         pairs.append(pair)
         if not pair["stats_identical"]:

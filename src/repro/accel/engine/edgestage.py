@@ -1,0 +1,439 @@
+"""Site ② edge-access stages for the batched engine.
+
+One class per edge-site design: the MDP variant (replay engines → range
+network → decentralized dispatchers) and the GraphDynS-style central
+window engine.  Both pull ``{Off, Len}`` requests from the frontend's
+``fe_out`` queues and emit processed edge records into the per-channel
+ePE queues the scatter loop offers to the propagation site.
+
+The per-edge ``Process_Edge`` kernel is resolved once at construction
+(``proc`` encodes the closed form declared by the algorithm); while a
+phase is being recorded for replay (see
+:mod:`repro.accel.engine.windows`), ``rec_news`` is a live slot-id list
+and the stage emits integer slot ids instead of float immediates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.accel.edge_access import _compatible_radix
+from repro.accel.engine.fastnets import _FastRangeNet
+from repro.mdp.replay import split_request
+
+
+class _MdpEdgeStage:
+    """Decentralized dispatchers behind a range-splitting network."""
+
+    kind = "mdp"
+
+    __slots__ = ("m", "fe", "epe_q", "epe_count", "epe_depth",
+                 "dst", "dst_mod", "weights", "process_fn", "proc",
+                 "rec_news", "w", "disp_q", "disp_count", "disp_depth",
+                 "disp_blocked", "disp_stall", "rnet", "replay_depth",
+                 "rp_pending", "rp_pieces", "rp_busy_total",
+                 "_position_of", "_channels_at", "_busy_at", "rp_rr")
+
+    def __init__(self, config, fe, dst: list, dst_mod: list, weights: list,
+                 proc: int, process_fn) -> None:
+        n, m = config.front_channels, config.back_channels
+        self.m = m
+        self.fe = fe
+        self.epe_q = [deque() for _ in range(m)]    # (dst % m, dst, imm, 1)
+        self.epe_count = 0
+        self.epe_depth = config.epe_queue_depth
+        self.dst = dst
+        self.dst_mod = dst_mod
+        self.weights = weights
+        self.process_fn = process_fn
+        self.proc = proc
+        self.rec_news: list | None = None
+        w = config.num_dispatchers
+        self.w = w
+        self.disp_q = [deque() for _ in range(w)]   # (off, len, sprop)
+        self.disp_count = 0
+        self.disp_depth = config.dispatcher_queue_depth
+        self.disp_blocked = 0
+        #: per-dispatcher memo of the full ePE bank that blocked the
+        #: head last cycle (-1: none).  Banks are private to one
+        #: dispatcher and the head cannot change while blocked, so
+        #: a still-full memoized bank proves the head stays blocked
+        #: without rescanning its whole bank window.
+        self.disp_stall = [-1] * w
+        net_radix = _compatible_radix(w, config.radix)
+        self.rnet = (_FastRangeNet(m, w, net_radix, config.fifo_depth)
+                     if net_radix is not None else None)
+        self.replay_depth = config.replay_queue_depth
+        self.rp_pending = [deque() for _ in range(n)]  # (off, len, sprop)
+        self.rp_pieces = [deque() for _ in range(n)]
+        self.rp_busy_total = 0
+        self._position_of = [(ch * w) // n if n <= w else ch % w
+                             for ch in range(n)]
+        self._channels_at: list[list[int]] = [[] for _ in range(w)]
+        for ch, pos in enumerate(self._position_of):
+            self._channels_at[pos].append(ch)
+        self._busy_at = [0] * w
+        self.rp_rr = [0] * w
+
+    # -- phase-window plumbing -----------------------------------------
+    def arb_key(self) -> tuple:
+        return (tuple(self.disp_stall), tuple(self.rp_rr))
+
+    def restore_arb(self, key: tuple) -> None:
+        self.disp_stall[:] = key[0]
+        self.rp_rr[:] = key[1]
+
+    def counter_sites(self) -> list:
+        sites = [(self, "disp_blocked")]
+        if self.rnet is not None:
+            sites += [(self.rnet, "stall_events"),
+                      (self.rnet, "rejected_offers")]
+        return sites
+
+    def edge_conflicts(self) -> int:
+        return self.disp_blocked + (
+            self.rnet.stall_events + self.rnet.rejected_offers
+            if self.rnet is not None else 0)
+
+    def active(self) -> bool:
+        return bool(self.disp_count or self.fe.fe_count or self.rp_busy_total
+                    or (self.rnet is not None and self.rnet.count))
+
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        m = self.m
+        # 1. dispatchers issue bank reads into the ePE queues
+        if self.disp_count:
+            epe_q = self.epe_q
+            epe_depth = self.epe_depth
+            dst = self.dst
+            dst_mod = self.dst_mod
+            weights = self.weights
+            process = self.process_fn
+            proc = self.proc
+            rec_news = self.rec_news
+            disp_stall = self.disp_stall
+            issued = 0
+            for d, q in enumerate(self.disp_q):
+                if not q:
+                    continue
+                sb = disp_stall[d]
+                if sb >= 0:
+                    if len(epe_q[sb]) >= epe_depth:
+                        self.disp_blocked += 1
+                        continue
+                    disp_stall[d] = -1
+                off, length, payload = q[0]
+                # replay pieces never wrap the bank space, so the banks
+                # are the consecutive range starting at off % m
+                bank = off % m
+                blocked = False
+                for b in range(bank, bank + length):
+                    if len(epe_q[b]) >= epe_depth:
+                        disp_stall[d] = b
+                        blocked = True
+                        break
+                if blocked:
+                    self.disp_blocked += 1
+                    continue
+                q.popleft()
+                issued += 1
+                if rec_news is not None:
+                    # recording: immediates are slot ids (windows.py)
+                    for eidx in range(off, off + length):
+                        epe_q[bank].append((dst_mod[eidx], dst[eidx],
+                                            len(rec_news), 1))
+                        rec_news.append(eidx)
+                        bank += 1
+                elif proc == 0:                 # identity kernel
+                    for eidx in range(off, off + length):
+                        epe_q[bank].append((dst_mod[eidx], dst[eidx], payload, 1))
+                        bank += 1
+                elif proc == 2:                 # payload + weight
+                    for eidx in range(off, off + length):
+                        epe_q[bank].append((dst_mod[eidx], dst[eidx],
+                                            payload + weights[eidx], 1))
+                        bank += 1
+                elif proc == 3:                 # min(payload, weight)
+                    for eidx in range(off, off + length):
+                        w = weights[eidx]
+                        epe_q[bank].append((dst_mod[eidx], dst[eidx],
+                                            payload if payload < w else w, 1))
+                        bank += 1
+                elif proc == 1:                 # weight-independent kernel
+                    pv = process(payload, 0)
+                    for eidx in range(off, off + length):
+                        epe_q[bank].append((dst_mod[eidx], dst[eidx], pv, 1))
+                        bank += 1
+                else:
+                    for eidx in range(off, off + length):
+                        epe_q[bank].append((dst_mod[eidx], dst[eidx],
+                                            process(payload, weights[eidx]), 1))
+                        bank += 1
+                self.epe_count += length
+            self.disp_count -= issued
+        # 2. network delivers pieces to dispatchers
+        rnet = self.rnet
+        if rnet is not None and rnet.count:
+            last = rnet.num_stages - 1
+            if rnet.counts[last]:
+                disp_q = self.disp_q
+                disp_depth = self.disp_depth
+                popped = 0
+                for d, queue in enumerate(rnet.queues[last]):
+                    if queue and len(disp_q[d]) < disp_depth:
+                        disp_q[d].append(queue.popleft())
+                        popped += 1
+                rnet.counts[last] -= popped
+                rnet.count -= popped
+                self.disp_count += popped
+            if rnet.count:
+                rnet.advance()
+        # 3. replay engines emit one piece per network input position
+        if self.rp_busy_total:
+            busy_at = self._busy_at
+            rp_rr = self.rp_rr
+            for pos, channels in enumerate(self._channels_at):
+                if not busy_at[pos]:
+                    continue
+                num = len(channels)
+                rr = rp_rr[pos]
+                for k in range(num):
+                    idx = (rr + k) % num
+                    piece = self._replay_emit(channels[idx])
+                    if piece is None:
+                        continue
+                    off, length, payload = piece
+                    if rnet is not None:
+                        accepted = rnet.offer(pos, off, length, payload)
+                    else:
+                        accepted = self._disp_accept(0, off, length, payload)
+                    if accepted:
+                        self._replay_consume(channels[idx], pos)
+                        rp_rr[pos] = (idx + 1) % num
+                    break
+        # 4. replay engines pull new {Off, Len} requests from the front end
+        fe = self.fe
+        if fe.fe_count:
+            rp_pending = self.rp_pending
+            rp_pieces = self.rp_pieces
+            replay_depth = self.replay_depth
+            trace = fe.trace
+            pulled = 0
+            for ch, src in enumerate(fe.fe_out):
+                if not src:
+                    continue
+                pending = rp_pending[ch]
+                if len(pending) < replay_depth:
+                    if not pending and not rp_pieces[ch]:
+                        self._busy_at[self._position_of[ch]] += 1
+                        self.rp_busy_total += 1
+                    pending.append(src.popleft())
+                    if trace is not None:
+                        trace.cur_pulls.append(ch)
+                    pulled += 1
+            fe.fe_count -= pulled
+
+    def _replay_emit(self, ch: int):
+        pieces = self.rp_pieces[ch]
+        if not pieces:
+            pending = self.rp_pending[ch]
+            if not pending:
+                return None
+            req = pending.popleft()
+            off, length, payload = req
+            m = self.m
+            if length <= m - off % m:   # common case: one non-wrapping piece
+                pieces.append(req)
+            else:
+                for p_off, p_len in split_request(off, length, m, m):
+                    pieces.append((p_off, p_len, payload))
+        return pieces[0]
+
+    def _replay_consume(self, ch: int, pos: int) -> None:
+        pieces = self.rp_pieces[ch]
+        pieces.popleft()
+        if not pieces and not self.rp_pending[ch]:
+            self._busy_at[pos] -= 1
+            self.rp_busy_total -= 1
+
+    def _disp_accept(self, d: int, off: int, length: int, payload) -> bool:
+        q = self.disp_q[d]
+        if len(q) >= self.disp_depth:
+            return False
+        q.append((off, length, payload))
+        self.disp_count += 1
+        return True
+
+
+class _CentralEdgeStage:
+    """Centralized in-order greedy window engine (GraphDynS-style)."""
+
+    kind = "central"
+
+    __slots__ = ("m", "fe", "epe_q", "epe_count", "epe_depth",
+                 "dst", "dst_mod", "weights", "process_fn", "proc",
+                 "rec_news", "ce_queue", "ce_capacity", "ce_issue_limit",
+                 "window_conflicts", "ce_stall")
+
+    def __init__(self, config, fe, dst: list, dst_mod: list, weights: list,
+                 proc: int, process_fn) -> None:
+        m = config.back_channels
+        self.m = m
+        self.fe = fe
+        self.epe_q = [deque() for _ in range(m)]
+        self.epe_count = 0
+        self.epe_depth = config.epe_queue_depth
+        self.dst = dst
+        self.dst_mod = dst_mod
+        self.weights = weights
+        self.process_fn = process_fn
+        self.proc = proc
+        self.rec_news: list | None = None
+        self.ce_queue: deque = deque()              # (off, len, sprop)
+        self.ce_capacity = config.fe_out_depth * config.front_channels
+        self.ce_issue_limit = config.issue_limit
+        self.window_conflicts = 0
+        #: (off, len, bank) of a head window blocked on a full ePE
+        #: bank with nothing issued that cycle — while the head and
+        #: the bank's fullness persist, the whole window pass is a
+        #: provable no-op
+        self.ce_stall: tuple | None = None
+
+    # -- phase-window plumbing -----------------------------------------
+    def arb_key(self) -> tuple:
+        return (self.ce_stall,)
+
+    def restore_arb(self, key: tuple) -> None:
+        (self.ce_stall,) = key
+
+    def counter_sites(self) -> list:
+        return [(self, "window_conflicts")]
+
+    def edge_conflicts(self) -> int:
+        return self.window_conflicts
+
+    def active(self) -> bool:
+        return bool(self.ce_queue or self.fe.fe_count)
+
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        m = self.m
+        queue = self.ce_queue
+        # 1. in-order greedy window issue
+        st = self.ce_stall
+        issue_blocked = False
+        if st is not None:
+            if (queue and queue[0][0] == st[0] and queue[0][1] == st[1]
+                    and len(self.epe_q[st[2]]) >= self.epe_depth):
+                issue_blocked = True     # head still blocked: provable no-op
+            else:
+                self.ce_stall = None
+        if queue and not issue_blocked:
+            epe_q = self.epe_q
+            epe_depth = self.epe_depth
+            dst = self.dst
+            dst_mod = self.dst_mod
+            weights = self.weights
+            process = self.process_fn
+            proc = self.proc
+            rec_news = self.rec_news
+            claimed: set[int] = set()
+            issued_requests = 0
+            while queue and issued_requests < self.ce_issue_limit:
+                off, length, payload = queue[0]
+                k = length if length < m else m
+                if claimed:              # first window can never conflict
+                    conflict = False
+                    for j in range(k):
+                        if (off + j) % m in claimed:
+                            conflict = True
+                            break
+                    if conflict:
+                        self.window_conflicts += 1
+                        break            # strict in-order: head blocks the rest
+                full = False
+                for j in range(k):
+                    if len(epe_q[(off + j) % m]) >= epe_depth:
+                        full = True
+                        break
+                if full:
+                    if not claimed:      # nothing issued: memoize the block
+                        self.ce_stall = (off, length, (off + j) % m)
+                    break
+                if rec_news is not None:
+                    # recording: immediates are slot ids (windows.py)
+                    for j in range(k):
+                        eidx = off + j
+                        b = eidx % m
+                        epe_q[b].append((dst_mod[eidx], dst[eidx],
+                                         len(rec_news), 1))
+                        rec_news.append(eidx)
+                        claimed.add(b)
+                elif proc == 0:                 # identity kernel
+                    for j in range(k):
+                        eidx = off + j
+                        b = eidx % m
+                        epe_q[b].append((dst_mod[eidx], dst[eidx], payload, 1))
+                        claimed.add(b)
+                elif proc == 2:                 # payload + weight
+                    for j in range(k):
+                        eidx = off + j
+                        b = eidx % m
+                        epe_q[b].append((dst_mod[eidx], dst[eidx],
+                                         payload + weights[eidx], 1))
+                        claimed.add(b)
+                elif proc == 3:                 # min(payload, weight)
+                    for j in range(k):
+                        eidx = off + j
+                        b = eidx % m
+                        w = weights[eidx]
+                        epe_q[b].append((dst_mod[eidx], dst[eidx],
+                                         payload if payload < w else w, 1))
+                        claimed.add(b)
+                elif proc == 1:                 # weight-independent kernel
+                    pv = process(payload, 0)
+                    for j in range(k):
+                        eidx = off + j
+                        b = eidx % m
+                        epe_q[b].append((dst_mod[eidx], dst[eidx], pv, 1))
+                        claimed.add(b)
+                else:
+                    for j in range(k):
+                        eidx = off + j
+                        b = eidx % m
+                        epe_q[b].append((dst_mod[eidx], dst[eidx],
+                                         process(payload, weights[eidx]), 1))
+                        claimed.add(b)
+                self.epe_count += k
+                if k == length:
+                    queue.popleft()
+                    issued_requests += 1
+                else:
+                    queue[0] = (off + k, length - k, payload)
+                    break                # the window already spans all banks
+        # 2. merge front-end requests in channel order
+        fe = self.fe
+        if fe.fe_count:
+            capacity = self.ce_capacity
+            trace = fe.trace
+            pulled = 0
+            for ch, src in enumerate(fe.fe_out):
+                if len(queue) >= capacity:
+                    break
+                if src:
+                    queue.append(src.popleft())
+                    if trace is not None:
+                        trace.cur_pulls.append(ch)
+                    pulled += 1
+            fe.fe_count -= pulled
+
+
+def make_batched_edge_stage(config, fe, dst: list, dst_mod: list,
+                            weights: list, proc: int, process_fn):
+    """Build the batched edge stage for ``config.edge_site``."""
+    if config.edge_site == "mdp":
+        return _MdpEdgeStage(config, fe, dst, dst_mod, weights, proc,
+                             process_fn)
+    return _CentralEdgeStage(config, fe, dst, dst_mod, weights, proc,
+                             process_fn)

@@ -1,0 +1,648 @@
+"""Fast network models for the batched engine (no engine control flow).
+
+Shared conventions:
+
+* queue banks are lists of deques with an occupancy *count* per stage
+  (or per bank group), so an idle subsystem costs one integer check
+  per cycle; occupied banks are scanned in ascending position order —
+  the same order as the reference's ``range()`` loops, which is what
+  keeps arbitration, stall and combining decisions cycle-exact;
+* routing is precomputed into ``table[stage][pos][dest] -> target``;
+* records are flat tuples: propagation ``(dest, v, imm, count)``,
+  frontend routing ``(dest, u, sprop)``, edge pieces
+  ``(off, len, sprop)``;
+* only counters that feed ``SimStats`` are maintained.
+
+The event-driven fast path is picked per cycle by a one-compare window
+proof (see ``docs/performance.md``): with ``count <= fifo_depth -
+radix`` records in flight no FIFO can be over the block line, so no
+stall, park or rejected offer is possible and the networks run
+probe-free variants of ``advance``/``offer``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigError
+from repro.mdp.generator import generate_network
+
+
+def _routing_tables(plan) -> list[list[list[int]]]:
+    """``table[stage][pos][dest] -> target position`` for one plan."""
+    tables = []
+    radix = plan.radix
+    channels = plan.channels
+    for stage in plan.stages:
+        divisor = radix ** stage.digit_index
+        per_pos: list = [None] * channels
+        for module in stage.modules:
+            ports = module.channels
+            targets = [ports[(dest // divisor) % radix]
+                       for dest in range(channels)]
+            for p in ports:
+                per_pos[p] = targets
+        tables.append(per_pos)
+    return tables
+
+
+class _FastMdpNet:
+    """MDP network with occupancy bitmasks — cf. ``MdpNetworkSim``.
+
+    Items are flat tuples whose first element is the destination.  With
+    ``combining`` enabled (propagation site), items are
+    ``(dest, v, imm, count)`` and a mover whose vertex matches the
+    target FIFO's tail merges via ``reduce_fn`` — the inlined
+    equivalent of :func:`repro.accel.backend.make_vertex_combiner`.
+
+    The event-driven fast path is picked per cycle by a one-compare
+    window proof: with ``count <= block_len`` records in flight no FIFO
+    can be over the block line (a FIFO's length is bounded by the
+    total), so neither a stall nor a rejected offer is possible and
+    ``advance`` runs a probe-free no-backpressure variant.
+    """
+
+    __slots__ = ("channels", "radix", "depth", "num_stages", "queues",
+                 "counts", "count", "table", "stall_events",
+                 "rejected_offers", "combining", "reduce_fn",
+                 "block_len")
+
+    def __init__(self, channels: int, radix: int, fifo_depth: int,
+                 combining: bool = False, reduce_fn=None) -> None:
+        if fifo_depth < radix:
+            raise ConfigError(
+                f"fifo_depth {fifo_depth} must be >= radix {radix} "
+                "(nW1R FIFO never ready otherwise)")
+        plan = generate_network(channels, radix)
+        self.channels = plan.channels
+        self.radix = plan.radix
+        self.depth = fifo_depth
+        self.num_stages = plan.num_stages
+        self.queues = [[deque() for _ in range(self.channels)]
+                       for _ in range(self.num_stages)]
+        self.counts = [0] * self.num_stages
+        self.count = 0
+        self.table = _routing_tables(plan)
+        self.stall_events = 0
+        self.rejected_offers = 0
+        self.combining = combining
+        self.reduce_fn = reduce_fn
+        #: a FIFO longer than this cannot accept a full radix burst
+        self.block_len = fifo_depth - radix
+
+    # ------------------------------------------------------------------
+    def offer(self, channel: int, item) -> bool:
+        """Inject ``item`` (``item[0]`` is the destination) at stage 0."""
+        tq = self.queues[0][self.table[0][channel][item[0]]]
+        if tq:
+            if self.combining and tq[-1][1] == item[1]:
+                tail = tq[-1]
+                tq[-1] = (tail[0], tail[1],
+                          self.reduce_fn(tail[2], item[2]), tail[3] + item[3])
+                return True
+            if len(tq) > self.block_len:
+                self.rejected_offers += 1
+                return False
+        tq.append(item)
+        self.counts[0] += 1
+        self.count += 1
+        return True
+
+    def advance(self) -> None:
+        """Move heads one stage forward, last stage first.
+
+        With ``count <= block_len`` records in flight no FIFO can be
+        over the block line (a FIFO's length is bounded by the total),
+        so no stall, park or threshold crossing is possible and the
+        no-backpressure variant below runs probe-free.
+        """
+        if self.count <= self.block_len:
+            self._advance_nobackpressure()
+        else:
+            self._advance_checked()
+
+    def _advance_nobackpressure(self) -> None:
+        counts = self.counts
+        queues = self.queues
+        table = self.table
+        combining = self.combining
+        reduce_fn = self.reduce_fn
+        combined = 0
+        for s in range(self.num_stages - 1, 0, -1):
+            total = counts[s - 1]
+            if not total:
+                continue
+            cur = queues[s]
+            tbl = table[s]
+            popped = 0
+            moved = 0
+            seen = 0
+            for p, queue in enumerate(queues[s - 1]):
+                if not queue:
+                    continue
+                seen += 1
+                item = queue[0]
+                tq = cur[tbl[p][item[0]]]
+                if tq and combining and tq[-1][1] == item[1]:
+                    tail = tq[-1]
+                    tq[-1] = (tail[0], tail[1],
+                              reduce_fn(tail[2], item[2]),
+                              tail[3] + item[3])
+                    queue.popleft()
+                    combined += 1
+                else:
+                    tq.append(queue.popleft())
+                    moved += 1
+                popped += 1
+                if seen == total:
+                    break
+            counts[s - 1] -= popped
+            counts[s] += moved
+        if combined:
+            self.count -= combined
+
+    def _advance_checked(self) -> None:
+        counts = self.counts
+        queues = self.queues
+        table = self.table
+        block_len = self.block_len
+        combining = self.combining
+        reduce_fn = self.reduce_fn
+        combined = 0
+        stalled = 0
+        for s in range(self.num_stages - 1, 0, -1):
+            total = counts[s - 1]
+            if not total:
+                continue
+            cur = queues[s]
+            tbl = table[s]
+            cprev = total
+            moved = 0
+            seen = 0
+            for p, queue in enumerate(queues[s - 1]):
+                if not queue:
+                    continue
+                seen += 1
+                item = queue[0]
+                tq = cur[tbl[p][item[0]]]
+                if tq:
+                    if combining and tq[-1][1] == item[1]:
+                        tail = tq[-1]
+                        tq[-1] = (tail[0], tail[1],
+                                  reduce_fn(tail[2], item[2]),
+                                  tail[3] + item[3])
+                        queue.popleft()
+                        cprev -= 1
+                        combined += 1
+                        if seen == total:
+                            break
+                        continue
+                    if len(tq) > block_len:
+                        stalled += 1
+                        if seen == total:
+                            break
+                        continue
+                tq.append(queue.popleft())
+                cprev -= 1
+                moved += 1
+                # every occupied position holds >= 1 item, so once `seen`
+                # equals the stage's item count the rest must be empty
+                if seen == total:
+                    break
+            counts[s - 1] = cprev
+            counts[s] += moved
+        if combined:
+            self.count -= combined
+        if stalled:
+            self.stall_events += stalled
+
+    def deliver_reduce(self, tprop: list) -> tuple[int, int]:
+        """Pop one record per occupied final-stage FIFO straight into the
+        vPEs' Reduce; returns ``(records, edges)`` delivered."""
+        last = self.num_stages - 1
+        total = self.counts[last]
+        if not total:
+            return 0, 0
+        reduce_fn = self.reduce_fn
+        got = 0
+        reduces = 0
+        for queue in self.queues[last]:
+            if queue:
+                _, dv, imm, cnt = queue.popleft()
+                tprop[dv] = reduce_fn(tprop[dv], imm)
+                reduces += cnt
+                got += 1
+                if got == total:
+                    break
+        self.counts[last] -= got
+        self.count -= got
+        return got, reduces
+
+    def deliver_into(self, sinks: list, sink_depth: int) -> int:
+        """Pop one item per occupied final-stage FIFO into per-position
+        ``sinks`` honouring ``sink_depth``; returns items popped."""
+        last = self.num_stages - 1
+        total = self.counts[last]
+        if not total:
+            return 0
+        popped = 0
+        seen = 0
+        for p, queue in enumerate(self.queues[last]):
+            if queue:
+                seen += 1
+                sink = sinks[p]
+                if len(sink) < sink_depth:
+                    sink.append(queue.popleft())
+                    popped += 1
+                if seen == total:
+                    break
+        self.counts[last] -= popped
+        self.count -= popped
+        return popped
+
+    # -- fast-forward helpers ------------------------------------------
+    def warp_single(self) -> int:
+        """Advance the lone in-flight record straight to the final stage.
+
+        With one record in flight nothing can stall or combine, so ``k``
+        advances just move it ``k`` stages along its deterministic
+        route.  Returns the cycles skipped (0 if already there).
+        """
+        last = self.num_stages - 1
+        for s, c in enumerate(self.counts):
+            if c:
+                break
+        if s == last:
+            return 0
+        queues = self.queues[s]
+        for p in range(self.channels):
+            if queues[p]:
+                item = queues[p].popleft()
+                break
+        self.counts[s] = 0
+        self.queues[last][item[0]].append(item)
+        self.counts[last] = 1
+        return last - s
+
+    def drain_reduce(self, tprop: list) -> tuple[int, int, int]:
+        """Run the network to empty with sinks always ready and no new
+        offers; returns ``(cycles, records, edges)`` delivered.
+
+        Equivalent to ticking deliver+advance until drained: no stall or
+        combining decision differs because nothing is injected.  Two
+        bulk shortcuts apply — a lone record warps stage-to-stage in one
+        step, and a final-stage-only population drains in closed form
+        (per-FIFO pops preserve same-vertex Reduce order; records in
+        different FIFOs touch different tProperty entries).
+        """
+        cycles = 0
+        got_total = 0
+        reduces = 0
+        last = self.num_stages - 1
+        while self.count:
+            if self.counts[last] == self.count:
+                reduce_fn = self.reduce_fn
+                longest = 0
+                for queue in self.queues[last]:
+                    if queue:
+                        length = len(queue)
+                        if length > longest:
+                            longest = length
+                        while queue:
+                            _, dv, imm, cnt = queue.popleft()
+                            tprop[dv] = reduce_fn(tprop[dv], imm)
+                            reduces += cnt
+                got_total += self.count
+                cycles += longest
+                self.counts[last] = 0
+                self.count = 0
+                break
+            if self.count == 1:
+                cycles += self.warp_single()
+                continue
+            got, red = self.deliver_reduce(tprop)
+            self.advance()
+            cycles += 1
+            got_total += got
+            reduces += red
+        return cycles, got_total, reduces
+
+
+class _FastXbar:
+    """Arbitrated crossbar with occupancy counts — cf. ArbitratedCrossbar.
+
+    Items are flat tuples whose first element is the destination; with
+    ``combining`` (propagation site) they are ``(dest, v, imm, count)``
+    and merge with an input FIFO's tail when the vertex matches.
+    """
+
+    __slots__ = ("num_inputs", "num_outputs", "depth", "inputs", "count",
+                 "rr", "conflicts", "combining", "reduce_fn")
+
+    def __init__(self, num_inputs: int, num_outputs: int, fifo_depth: int,
+                 combining: bool = False, reduce_fn=None) -> None:
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.depth = fifo_depth
+        self.inputs = [deque() for _ in range(num_inputs)]
+        self.count = 0
+        self.rr = [0] * num_outputs
+        self.conflicts = 0
+        self.combining = combining
+        self.reduce_fn = reduce_fn
+
+    def offer(self, i: int, item) -> bool:
+        fifo = self.inputs[i]
+        if fifo:
+            if self.combining and fifo[-1][1] == item[1]:
+                tail = fifo[-1]
+                fifo[-1] = (tail[0], tail[1],
+                            self.reduce_fn(tail[2], item[2]),
+                            tail[3] + item[3])
+                return True
+            if len(fifo) >= self.depth:
+                return False
+        fifo.append(item)
+        self.count += 1
+        return True
+
+    def tick_unit(self) -> list:
+        """One arbitration cycle with every output accepting one item.
+
+        Single pass over the occupied inputs: the round-robin winner per
+        destination is tracked incrementally (the requester closest
+        after the rotating pointer wins, exactly as sorting all
+        requesters by ``(i - ptr) % n`` and taking the first would).
+        """
+        total = self.count
+        if not total:
+            return ()
+        inputs = self.inputs
+        num = self.num_inputs
+        rr = self.rr
+        winner: dict[int, int] = {}
+        conflicts = 0
+        seen = 0
+        for i, fifo in enumerate(inputs):
+            if not fifo:
+                continue
+            seen += 1
+            dest = fifo[0][0]
+            w = winner.get(dest)
+            if w is None:
+                winner[dest] = i
+            else:
+                conflicts += 1
+                ptr = rr[dest]
+                if (i - ptr) % num < (w - ptr) % num:
+                    winner[dest] = i
+            if seen == total:
+                break
+        self.conflicts += conflicts
+        out: list = []
+        for dest, i in winner.items():
+            q = inputs[i]
+            out.append(q.popleft())
+            rr[dest] = (i + 1) % num
+        self.count -= len(out)
+        return out
+
+    def tick_budget(self, budget: list[int]) -> list:
+        """One arbitration cycle with a per-output acceptance budget."""
+        total = self.count
+        if not total:
+            return ()
+        inputs = self.inputs
+        num = self.num_inputs
+        rr = self.rr
+        winner: dict[int, int] = {}
+        conflicts = 0
+        seen = 0
+        for i, fifo in enumerate(inputs):
+            if not fifo:
+                continue
+            seen += 1
+            dest = fifo[0][0]
+            if budget[dest] <= 0:
+                conflicts += 1      # every requester of a full output loses
+            else:
+                w = winner.get(dest)
+                if w is None:
+                    winner[dest] = i
+                else:
+                    conflicts += 1
+                    ptr = rr[dest]
+                    if (i - ptr) % num < (w - ptr) % num:
+                        winner[dest] = i
+            if seen == total:
+                break
+        self.conflicts += conflicts
+        out: list = []
+        for dest, i in winner.items():
+            q = inputs[i]
+            out.append(q.popleft())
+            rr[dest] = (i + 1) % num
+        self.count -= len(out)
+        return out
+
+
+class _FastRangeNet:
+    """Range-splitting network with counts — cf. RangeSplitNetwork.
+
+    The same one-compare no-backpressure window proof as in
+    :class:`_FastMdpNet` selects a probe-free ``advance`` / ``offer``
+    variant whenever the total in-flight count fits under the block
+    line (no combining exists at this site, so the light path is a
+    pure move/split engine).
+    """
+
+    __slots__ = ("banks", "num_dispatchers", "group_width", "radix",
+                 "depth", "num_stages", "queues", "counts", "count",
+                 "stage_block", "stage_ports", "stall_events",
+                 "rejected_offers", "block_len")
+
+    def __init__(self, banks: int, num_dispatchers: int, radix: int,
+                 fifo_depth: int) -> None:
+        plan = generate_network(num_dispatchers, radix)
+        self.banks = banks
+        self.num_dispatchers = num_dispatchers
+        self.group_width = banks // num_dispatchers
+        self.radix = radix
+        self.depth = fifo_depth
+        self.num_stages = plan.num_stages
+        self.queues = [[deque() for _ in range(num_dispatchers)]
+                       for _ in range(self.num_stages)]
+        self.counts = [0] * self.num_stages
+        self.count = 0
+        self.stage_block: list[int] = []
+        self.stage_ports: list[list[tuple[int, ...]]] = []
+        for stage in plan.stages:
+            self.stage_block.append(self.group_width * radix ** stage.digit_index)
+            ports: list = [None] * num_dispatchers
+            for module in stage.modules:
+                for p in module.channels:
+                    ports[p] = module.channels
+            self.stage_ports.append(ports)
+        self.stall_events = 0
+        self.rejected_offers = 0
+        self.block_len = fifo_depth - radix
+
+    # ------------------------------------------------------------------
+    def _try_insert(self, stage: int, entry_pos: int, off: int, length: int,
+                    payload) -> bool:
+        block = self.stage_block[stage]
+        ports = self.stage_ports[stage][entry_pos]
+        radix = self.radix
+        block_len = self.block_len
+        queues = self.queues[stage]
+        # split at block-aligned bank boundaries (cf. split_by_blocks)
+        start_bank = off % self.banks
+        rel = start_bank % block
+        if rel + length <= block:       # common case: the piece fits one block
+            q = queues[ports[(start_bank // block) % radix]]
+            if len(q) > block_len:
+                return False
+            q.append((off, length, payload))
+            self.counts[stage] += 1
+            self.count += 1
+            return True
+        targets: list[tuple[int, int, int]] = []
+        while length > 0:
+            room = block - (start_bank % block)
+            take = length if length < room else room
+            t = ports[(start_bank // block) % radix]
+            if len(queues[t]) > block_len:
+                return False        # bail before building the whole split
+            targets.append((t, off, take))
+            off += take
+            start_bank += take
+            length -= take
+        for t, s_off, s_len in targets:
+            queues[t].append((s_off, s_len, payload))
+        added = len(targets)
+        self.counts[stage] += added
+        self.count += added
+        return True
+
+    def _insert_light(self, stage: int, entry_pos: int, off: int,
+                      length: int, payload) -> None:
+        """``_try_insert`` when no FIFO can be full (count under line)."""
+        block = self.stage_block[stage]
+        ports = self.stage_ports[stage][entry_pos]
+        radix = self.radix
+        queues = self.queues[stage]
+        start_bank = off % self.banks
+        rel = start_bank % block
+        if rel + length <= block:
+            queues[ports[(start_bank // block) % radix]].append(
+                (off, length, payload))
+            self.counts[stage] += 1
+            self.count += 1
+            return
+        added = 0
+        while length > 0:
+            room = block - (start_bank % block)
+            take = length if length < room else room
+            queues[ports[(start_bank // block) % radix]].append(
+                (off, take, payload))
+            off += take
+            start_bank += take
+            length -= take
+            added += 1
+        self.counts[stage] += added
+        self.count += added
+
+    def offer(self, channel: int, off: int, length: int, payload) -> bool:
+        if self.count <= self.block_len:
+            self._insert_light(0, channel, off, length, payload)
+            return True
+        if self._try_insert(0, channel, off, length, payload):
+            return True
+        self.rejected_offers += 1
+        return False
+
+    def advance(self) -> None:
+        if self.count <= self.block_len:
+            self._advance_nobackpressure()
+        else:
+            self._advance_checked()
+
+    def _advance_nobackpressure(self) -> None:
+        counts = self.counts
+        queues = self.queues
+        banks = self.banks
+        radix = self.radix
+        for s in range(self.num_stages - 1, 0, -1):
+            total = counts[s - 1]
+            if not total:
+                continue
+            cur = queues[s]
+            block = self.stage_block[s]
+            ports = self.stage_ports[s]
+            seen = 0
+            moved = 0
+            for p, queue in enumerate(queues[s - 1]):
+                if not queue:
+                    continue
+                seen += 1
+                item = queue[0]
+                start_bank = item[0] % banks
+                rel = start_bank % block
+                if rel + item[1] <= block:      # fits one block: plain move
+                    cur[ports[p][(start_bank // block) % radix]].append(
+                        queue.popleft())
+                    moved += 1
+                else:
+                    self._insert_light(s, p, item[0], item[1], item[2])
+                    queue.popleft()
+                    counts[s - 1] -= 1
+                    self.count -= 1
+                if seen == total:
+                    break
+            if moved:
+                counts[s - 1] -= moved
+                counts[s] += moved
+
+    def _advance_checked(self) -> None:
+        counts = self.counts
+        queues = self.queues
+        banks = self.banks
+        radix = self.radix
+        block_len = self.block_len
+        for s in range(self.num_stages - 1, 0, -1):
+            total = counts[s - 1]
+            if not total:
+                continue
+            cur = queues[s]
+            block = self.stage_block[s]
+            ports = self.stage_ports[s]
+            seen = 0
+            moved = 0
+            stalled = 0
+            for p, queue in enumerate(queues[s - 1]):
+                if not queue:
+                    continue
+                seen += 1
+                item = queue[0]
+                start_bank = item[0] % banks
+                rel = start_bank % block
+                if rel + item[1] <= block:      # fits one block: plain move
+                    tq = cur[ports[p][(start_bank // block) % radix]]
+                    if len(tq) > block_len:
+                        stalled += 1
+                    else:
+                        tq.append(queue.popleft())
+                        moved += 1
+                elif self._try_insert(s, p, item[0], item[1], item[2]):
+                    queue.popleft()
+                    counts[s - 1] -= 1
+                    self.count -= 1
+                else:
+                    stalled += 1
+                if seen == total:
+                    break
+            if moved:
+                counts[s - 1] -= moved
+                counts[s] += moved
+            if stalled:
+                self.stall_events += stalled

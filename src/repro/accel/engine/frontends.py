@@ -1,0 +1,403 @@
+"""Site ① frontend subnetworks for the batched engine.
+
+The frontend (ActiveVertex parts → routing network → issue queues →
+odd-even / rotating-scan arbitration → ``{Off, Len}`` requests in the
+``fe_out`` queues) is its own class here, with one implementation per
+offset-site design.  Two consumers exist:
+
+* the live :class:`~repro.accel.engine.batched.BatchedEngine`, which
+  ticks the frontend once per simulated cycle; and
+* the **shadow replay** of partially-repeating phases (see
+  :mod:`repro.accel.engine.windows`): when a recorded phase matches the
+  current edge+propagation arbiter state but not the frontend's, only
+  the frontend is re-simulated — against the recorded per-cycle pull
+  schedule — and its emission stream is verified against the recording.
+  A verified match proves the downstream evolution is identical, so the
+  recorded edge/propagation segments replay in closed form.
+
+The frontend's interface to the rest of the engine is exactly two
+streams, both captured by :class:`FrontTrace` during recording:
+
+* **retires** — per cycle, the ``(channel, vertex)`` pairs whose
+  ``{Off, Len}`` request entered ``fe_out`` (zero-degree vertices
+  retire without emitting; they are still part of the stream);
+* **pulls** — per cycle, the channels the edge stage popped from
+  ``fe_out`` *before* the frontend ticked (the scatter loop runs the
+  edge stage first each cycle).
+
+Everything else the frontend reads (``fe_out`` occupancy) or mutates
+(parts, issue queues, its router) is private, so identical pulls plus
+identical retires imply an identical interface to site ②.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.accel.engine.fastnets import _FastMdpNet, _FastXbar
+
+
+class FrontTrace:
+    """Recorded frontend interface stream of one scatter phase.
+
+    ``pulls[t]`` / ``retires[t]`` describe frontend tick ``t``;
+    ``skips`` holds ``(t, k)`` pairs — ``k`` frontend-idle cycles (the
+    bulk propagation drain) elapsed after tick ``t-1`` and before tick
+    ``t``, advancing only per-cycle arbiter state.
+    """
+
+    __slots__ = ("pulls", "retires", "skips", "cur_pulls", "cur_retires")
+
+    def __init__(self) -> None:
+        self.pulls: list[tuple] = []
+        self.retires: list[tuple] = []
+        self.skips: list[tuple[int, int]] = []
+        self.cur_pulls: list | None = None
+        self.cur_retires: list | None = None
+
+    def _flush(self) -> None:
+        if self.cur_pulls is not None:
+            self.pulls.append(tuple(self.cur_pulls))
+            # at most one retire per channel per cycle, and each goes to
+            # its own fe_out queue — intra-cycle order across channels is
+            # not observable downstream, so the stream is kept (and
+            # compared) in channel order
+            self.retires.append(tuple(sorted(self.cur_retires)))
+            self.cur_pulls = None
+            self.cur_retires = None
+
+    def begin_cycle(self) -> None:
+        self._flush()
+        self.cur_pulls = []
+        self.cur_retires = []
+
+    def record_skip(self, k: int) -> None:
+        self._flush()
+        self.skips.append((len(self.pulls), k))
+
+    def finish(self) -> None:
+        self._flush()
+
+
+class _RetireLog:
+    """Minimal retire sink for a shadow frontend (no pull recording)."""
+
+    __slots__ = ("cur_retires",)
+
+    def __init__(self) -> None:
+        self.cur_retires: list = []
+
+
+class _MdpFrontend:
+    """Site ①, MDP offset network + §4.1 odd-even issue arbitration."""
+
+    kind = "mdp"
+
+    __slots__ = ("n", "offsets", "net", "parity",
+                 "parts_u", "parts_sp", "parts_head", "parts_alive",
+                 "issue_q", "issue_count", "issue_depth",
+                 "fe_out", "fe_count", "fe_depth", "deferrals", "trace")
+
+    def __init__(self, config, offsets: list) -> None:
+        n = config.front_channels
+        self.n = n
+        self.offsets = offsets
+        self.net = _FastMdpNet(n, config.radix, config.fifo_depth)
+        self.parity = 0
+        self.parts_u: list[list] = [[] for _ in range(n)]
+        self.parts_sp: list[list] = [[] for _ in range(n)]
+        self.parts_head = [0] * n
+        self.parts_alive: list[int] = []
+        self.issue_q = [deque() for _ in range(n)]  # (u % n, u, sprop)
+        self.issue_count = 0
+        self.issue_depth = config.issue_queue_depth
+        self.fe_out = [deque() for _ in range(n)]   # (off, len, sprop)
+        self.fe_count = 0
+        self.fe_depth = config.fe_out_depth
+        self.deferrals = 0
+        self.trace = None       # FrontTrace (recording) or _RetireLog (shadow)
+
+    # -- phase-window plumbing -----------------------------------------
+    def arb_key(self) -> tuple:
+        return (self.parity,)
+
+    def restore_arb(self, key: tuple) -> None:
+        (self.parity,) = key
+
+    def skip(self, k: int) -> None:
+        """Advance per-cycle arbiter state across ``k`` idle cycles."""
+        self.parity ^= k & 1
+
+    def counter_sites(self) -> list:
+        return [(self, "deferrals"), (self.net, "stall_events"),
+                (self.net, "rejected_offers")]
+
+    # ------------------------------------------------------------------
+    def load_parts(self, pu: list[list], psp: list[list]) -> None:
+        self.parts_u = pu
+        self.parts_sp = psp
+        self.parts_head = [0] * self.n
+        self.parts_alive = [p for p in range(self.n) if pu[p]]
+
+    def _retire(self, ch: int) -> int:
+        """Pop the granted head and emit its {Off, Len} request."""
+        q = self.issue_q[ch]
+        _, u, sprop = q.popleft()
+        self.issue_count -= 1
+        if self.trace is not None:
+            self.trace.cur_retires.append((ch, u))
+        offsets = self.offsets
+        off = offsets[u]
+        length = offsets[u + 1] - off
+        if length > 0:
+            self.fe_out[ch].append((off, length, sprop))
+            self.fe_count += 1
+        return 1
+
+    def _inject_parts(self) -> None:
+        """Offer one head per non-empty ActiveVertex part, stage-0 offer
+        inlined."""
+        net = self.net
+        n = self.n
+        table0 = net.table[0]
+        queues0 = net.queues[0]
+        block_len = net.block_len
+        parts_u, parts_sp, heads = self.parts_u, self.parts_sp, self.parts_head
+        exhausted = 0
+        added = 0
+        for p in self.parts_alive:
+            lst = parts_u[p]
+            h = heads[p]
+            u = lst[h]
+            tq = queues0[table0[p][u % n]]
+            if tq and len(tq) > block_len:
+                net.rejected_offers += 1
+                continue
+            tq.append((u % n, u, parts_sp[p][h]))
+            added += 1
+            h += 1
+            heads[p] = h
+            if h == len(lst):
+                exhausted += 1
+        if added:
+            net.counts[0] += added
+            net.count += added
+        if exhausted:
+            self.parts_alive = [p for p in self.parts_alive
+                                if heads[p] < len(parts_u[p])]
+
+    def tick(self) -> int:
+        n = self.n
+        net = self.net
+        retired = 0
+        # -- issue: §4.1 odd-even arbitration over the request heads
+        if self.issue_count:
+            fe_out = self.fe_out
+            fe_depth = self.fe_depth
+            issue_q = self.issue_q
+            parity = self.parity
+            claimed: dict[int, int] | None = None
+            for ch in range(parity, n, 2):      # priority parity: grant
+                q = issue_q[ch]
+                if q and len(fe_out[ch]) < fe_depth:
+                    u = q[0][1]
+                    if claimed is None:
+                        claimed = {}
+                    claimed[u % n] = u
+                    claimed[(u + 1) % n] = u + 1
+                    retired += self._retire(ch)
+            for ch in range(1 - parity, n, 2):  # defer to claimed banks
+                q = issue_q[ch]
+                if q and len(fe_out[ch]) < fe_depth:
+                    u = q[0][1]
+                    a2 = u + 1
+                    if claimed is None:
+                        claimed = {u % n: u, a2 % n: a2}
+                        retired += self._retire(ch)
+                    elif (claimed.get(u % n, u) == u
+                          and claimed.get(a2 % n, a2) == a2):
+                        claimed[u % n] = u
+                        claimed[a2 % n] = a2
+                        retired += self._retire(ch)
+                    else:
+                        self.deferrals += 1
+        self.parity ^= 1
+        # -- route: deliver into issue queues, advance, inject parts
+        if net.counts[net.num_stages - 1]:
+            self.issue_count += net.deliver_into(self.issue_q,
+                                                 self.issue_depth)
+        if net.count:
+            net.advance()
+        if self.parts_alive:
+            self._inject_parts()
+        return retired
+
+
+class _XbarFrontend:
+    """Site ①, arbitrated crossbar + rotating greedy claim arbitration."""
+
+    kind = "xbar"
+
+    __slots__ = ("n", "offsets", "xbar", "fstart",
+                 "parts_u", "parts_sp", "parts_head", "parts_alive",
+                 "issue_q", "issue_count", "issue_depth",
+                 "fe_out", "fe_count", "fe_depth", "deferrals", "trace")
+
+    def __init__(self, config, offsets: list) -> None:
+        n = config.front_channels
+        self.n = n
+        self.offsets = offsets
+        self.xbar = _FastXbar(n, n, config.fifo_depth)
+        self.fstart = 0
+        self.parts_u: list[list] = [[] for _ in range(n)]
+        self.parts_sp: list[list] = [[] for _ in range(n)]
+        self.parts_head = [0] * n
+        self.parts_alive: list[int] = []
+        self.issue_q = [deque() for _ in range(n)]  # (u % n, u, sprop)
+        self.issue_count = 0
+        self.issue_depth = config.issue_queue_depth
+        self.fe_out = [deque() for _ in range(n)]   # (off, len, sprop)
+        self.fe_count = 0
+        self.fe_depth = config.fe_out_depth
+        self.deferrals = 0
+        self.trace = None
+
+    # -- phase-window plumbing -----------------------------------------
+    def arb_key(self) -> tuple:
+        return (self.fstart, tuple(self.xbar.rr))
+
+    def restore_arb(self, key: tuple) -> None:
+        self.fstart = key[0]
+        self.xbar.rr[:] = key[1]
+
+    def skip(self, k: int) -> None:
+        self.fstart = (self.fstart + k) % self.n
+
+    def counter_sites(self) -> list:
+        return [(self, "deferrals"), (self.xbar, "conflicts")]
+
+    # ------------------------------------------------------------------
+    def load_parts(self, pu: list[list], psp: list[list]) -> None:
+        self.parts_u = pu
+        self.parts_sp = psp
+        self.parts_head = [0] * self.n
+        self.parts_alive = [p for p in range(self.n) if pu[p]]
+
+    def _retire(self, ch: int) -> int:
+        q = self.issue_q[ch]
+        _, u, sprop = q.popleft()
+        self.issue_count -= 1
+        if self.trace is not None:
+            self.trace.cur_retires.append((ch, u))
+        offsets = self.offsets
+        off = offsets[u]
+        length = offsets[u + 1] - off
+        if length > 0:
+            self.fe_out[ch].append((off, length, sprop))
+            self.fe_count += 1
+        return 1
+
+    def _inject_parts(self) -> None:
+        """Offer one head per non-empty ActiveVertex part to the router."""
+        n = self.n
+        offer = self.xbar.offer
+        parts_u, parts_sp, heads = self.parts_u, self.parts_sp, self.parts_head
+        exhausted = 0
+        for p in self.parts_alive:
+            lst = parts_u[p]
+            h = heads[p]
+            u = lst[h]
+            if offer(p, (u % n, u, parts_sp[p][h])):
+                h += 1
+                heads[p] = h
+                if h == len(lst):
+                    exhausted += 1
+        if exhausted:
+            self.parts_alive = [p for p in self.parts_alive
+                                if heads[p] < len(parts_u[p])]
+
+    def tick(self) -> int:
+        n = self.n
+        retired = 0
+        # -- issue: centralized greedy claim arbitration (rotating scan)
+        if self.issue_count:
+            fe_out = self.fe_out
+            fe_depth = self.fe_depth
+            issue_q = self.issue_q
+            start = self.fstart
+            claimed: set[int] = set()
+            for k in range(n):
+                ch = (start + k) % n
+                q = issue_q[ch]
+                if q and len(fe_out[ch]) < fe_depth:
+                    u = q[0][1]
+                    b1, b2 = u % n, (u + 1) % n
+                    if b1 in claimed or b2 in claimed:
+                        self.deferrals += 1
+                    else:
+                        claimed.add(b1)
+                        claimed.add(b2)
+                        retired += self._retire(ch)
+        self.fstart = (self.fstart + 1) % n
+        # -- route: crossbar tick under issue-queue budgets, then inject
+        xbar = self.xbar
+        if xbar.count:
+            issue_q = self.issue_q
+            budget = [self.issue_depth - len(q) for q in issue_q]
+            delivered = xbar.tick_budget(budget)
+            for item in delivered:
+                issue_q[item[0]].append(item)
+            self.issue_count += len(delivered)
+        if self.parts_alive:
+            self._inject_parts()
+        return retired
+
+
+def make_batched_frontend(config, offsets: list):
+    """Build the batched frontend for ``config.offset_site``."""
+    if config.offset_site == "mdp":
+        return _MdpFrontend(config, offsets)
+    return _XbarFrontend(config, offsets)
+
+
+def replay_frontend(fe, trace: FrontTrace) -> int | None:
+    """Drive a shadow frontend through a recorded phase's pull schedule.
+
+    Returns the number of frontend cycles re-simulated when the shadow's
+    retire stream matches the recording tick for tick — which proves the
+    phase's whole downstream evolution is identical to the recorded one
+    (see the module docstring) — or ``None`` on the first divergence.
+    The shadow is discarded either way; on success the caller commits
+    its arbiter end state and counters to the live frontend.
+    """
+    log = _RetireLog()
+    fe.trace = log
+    cur = log.cur_retires
+    fe_out = fe.fe_out
+    retires = trace.retires
+    skips = trace.skips
+    si = 0
+    ns = len(skips)
+    tick = fe.tick
+    try:
+        for t, pulls in enumerate(trace.pulls):
+            while si < ns and skips[si][0] == t:
+                fe.skip(skips[si][1])
+                si += 1
+            if pulls:
+                for ch in pulls:
+                    fe_out[ch].popleft()
+                fe.fe_count -= len(pulls)
+            tick()
+            if tuple(sorted(cur)) != retires[t]:
+                return None
+            del cur[:]
+    except IndexError:
+        # a pull hit an empty fe_out queue: the shadow diverged earlier
+        # in a way retire comparison alone could not see — treat as miss
+        return None
+    while si < ns:
+        fe.skip(skips[si][1])
+        si += 1
+    fe.trace = None
+    return len(trace.pulls)

@@ -1,0 +1,118 @@
+"""Site ③ propagation adapters for the batched engine.
+
+Thin site adapters binding the fast network models
+(:mod:`repro.accel.engine.fastnets`) to the propagation site's
+deliver/offer/drain protocol, plus the phase-window plumbing
+(``arb_key``/``restore_arb``/``counter_sites``/``reduce_sites``) the
+whole-phase replay layer keys on.
+"""
+
+from __future__ import annotations
+
+from repro.accel.engine.fastnets import _FastMdpNet, _FastXbar
+
+class _BatchedMdpPropagation:
+    """Site ③, MDP-network — batched counterpart of MdpPropagation."""
+
+    kind = "mdp"
+
+    def __init__(self, config, reduce_fn) -> None:
+        self.m = config.back_channels
+        self.net = _FastMdpNet(self.m, config.radix, config.fifo_depth,
+                               combining=config.vertex_combining,
+                               reduce_fn=reduce_fn)
+
+    @property
+    def count(self) -> int:
+        return self.net.count
+
+    def deliver_reduce(self, tprop: list) -> tuple[int, int]:
+        net = self.net
+        got = net.deliver_reduce(tprop)
+        if net.count:
+            net.advance()
+        return got
+
+    def offer(self, channel: int, item) -> bool:
+        return self.net.offer(channel, item)
+
+    def drain_reduce(self, tprop: list) -> tuple[int, int, int]:
+        return self.net.drain_reduce(tprop)
+
+    @property
+    def conflicts(self) -> int:
+        return self.net.stall_events + self.net.rejected_offers
+
+    # -- phase-window plumbing (see repro.accel.engine.windows) --------
+    def arb_key(self) -> tuple:
+        """Persistent arbiter state (the MDP network has none)."""
+        return ()
+
+    def restore_arb(self, key: tuple) -> None:
+        pass
+
+    def counter_sites(self) -> list:
+        return [(self.net, "stall_events"), (self.net, "rejected_offers")]
+
+    def reduce_sites(self) -> list:
+        return [(self.net, "reduce_fn")]
+
+
+class _BatchedXbarPropagation:
+    """Site ③, arbitrated crossbar — batched CrossbarPropagation."""
+
+    kind = "xbar"
+
+    def __init__(self, config, reduce_fn) -> None:
+        self.m = config.back_channels
+        self.reduce_fn = reduce_fn
+        self.xbar = _FastXbar(self.m, self.m, config.fifo_depth,
+                              combining=config.vertex_combining,
+                              reduce_fn=reduce_fn)
+
+    @property
+    def count(self) -> int:
+        return self.xbar.count
+
+    def deliver_reduce(self, tprop: list) -> tuple[int, int]:
+        delivered = self.xbar.tick_unit()
+        if not delivered:
+            return 0, 0
+        reduce_fn = self.reduce_fn
+        reduces = 0
+        for _, dv, imm, cnt in delivered:
+            tprop[dv] = reduce_fn(tprop[dv], imm)
+            reduces += cnt
+        return len(delivered), reduces
+
+    def offer(self, channel: int, item) -> bool:
+        return self.xbar.offer(channel, item)
+
+    def drain_reduce(self, tprop: list) -> tuple[int, int, int]:
+        """Tick to empty (no new offers; per-dest arbitration still runs)."""
+        cycles = 0
+        got_total = 0
+        reduces = 0
+        while self.xbar.count:
+            got, red = self.deliver_reduce(tprop)
+            cycles += 1
+            got_total += got
+            reduces += red
+        return cycles, got_total, reduces
+
+    @property
+    def conflicts(self) -> int:
+        return self.xbar.conflicts
+
+    # -- phase-window plumbing (see repro.accel.engine.windows) --------
+    def arb_key(self) -> tuple:
+        return (tuple(self.xbar.rr),)
+
+    def restore_arb(self, key: tuple) -> None:
+        self.xbar.rr[:] = key[0]
+
+    def counter_sites(self) -> list:
+        return [(self.xbar, "conflicts")]
+
+    def reduce_sites(self) -> list:
+        return [(self, "reduce_fn"), (self.xbar, "reduce_fn")]

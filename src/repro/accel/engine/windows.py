@@ -1,0 +1,298 @@
+"""Whole-phase structural windows: record one scatter phase, replay its twins.
+
+The batched engine's strongest fast-forward rests on one invariant of
+the simulated machine: **no control-flow decision in a scatter phase
+reads a property value**.  Routing digits, arbitration winners, queue
+capacities, vertex-combining probes (vertex-id equality), window
+conflicts and convergence checks are all pure functions of the graph
+structure, the presented ActiveVertex list, and the engine's
+persistent arbiter state.  Float immediates only *ride along*.
+
+For an all-active algorithm (PageRank) every iteration presents the
+same ActiveVertex list, so when the arbiter state also matches a
+previously simulated phase, the entire cycle evolution is provably
+identical — the whole phase is one verified window.  The engine then:
+
+* advances every ``SimStats`` counter and every conflict counter by
+  the recorded per-phase delta (closed form, zero cycles ticked);
+* restores the recorded end-of-phase arbiter state;
+* re-executes only the *value plane*: leaf immediates are produced in
+  one vectorized pass (``Process_Edge`` over the recorded edge ids),
+  then the recorded vertex-combining merge log and delivery log replay
+  the exact float-reduction tree of the simulated hardware, in the
+  exact order — so tProperty comes out byte-identical.
+
+**Per-subnetwork keys.**  The arbiter state is not one blob: it is
+keyed per subnetwork as ``(frontend, edge, propagation)`` (each
+segment built by that subnetwork's ``arb_key()``), and the memo holds
+one program per distinct composite key, recorded on evidence of
+recurrence (see :class:`PhaseMemo`).  Two consequences:
+
+* a run whose arbiter state cycles through a few values (e.g. the
+  odd-even parity flips each phase because phases take an odd number
+  of cycles) records each recurring state once and replays everything
+  after — the old single-program memo missed forever in that case;
+* a phase that *partially* repeats — the edge+propagation segments
+  match a recorded program but the frontend segment does not — is
+  replayed by re-simulating **only the frontend** (a shadow instance
+  driven by the recorded pull schedule; see
+  :func:`repro.accel.engine.frontends.replay_frontend`).  If the
+  shadow's emission stream matches the recording tick for tick, the
+  downstream evolution is proven identical: the recorded edge and
+  propagation segments replay in closed form, the frontend's counters
+  and end state come from the shadow, and a *derived* program is
+  stored under the new composite key so the next occurrence replays
+  with no simulation at all.  A divergent shadow is discarded — the
+  phase falls back to full simulation; a wrong key can only ever miss
+  a window, never corrupt one.
+
+In sliced mode (§5.3) every slice owns its own engine and therefore
+its own memo — programs are keyed per slice by construction, and each
+slice re-presents the same frontier every iteration, so sliced
+all-active runs hit replay from iteration 2 onward.
+
+Recording piggybacks on the first simulation of a phase at near-zero
+cost: immediates are replaced by integer *slot ids* and the
+``Reduce`` callable by a logging shim (merges append ``(a, b)`` and
+keep the tail's slot, exactly like the hardware's in-FIFO combining;
+deliveries — recognized because the tProperty accumulator is the
+``None`` sentinel — append the delivered slot).  The value pass that
+closes the recording also fills the caller's tProperty, so iteration
+one needs no second simulation.
+
+If any of this reasoning were wrong for some configuration, the
+differential suite and the perf probe's built-in ``stats_identical``
+check would fail loudly — the memo never silently changes results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel.engine.frontends import FrontTrace
+
+#: Phases recorded (with live logging shims) per run — a memory bound,
+#: not a heuristic: recording is only attempted for states proven (or
+#: strongly expected) to recur, see :meth:`PhaseMemo.can_record`.
+MAX_RECORDINGS = 8
+
+#: Phases at the start of a run that record *speculatively* (before
+#: any evidence of recurrence).  One: a stable arbiter state — the
+#: common HiGraph-mini case — replays from iteration 2 with no wasted
+#: work, while drifting runs pay for exactly one unproductive
+#: recording, the same cost as the old single-program memo.
+SPECULATIVE_PHASES = 1
+
+#: A second-sighted state is recorded only when its recurrence period
+#: is at most this many phases — the replay payoff must arrive within
+#: a typical all-active run (PageRank defaults to ~10 iterations); a
+#: state that recurs every 5+ phases would usually be recorded after
+#: its last appearance.
+MAX_RECURRENCE_PERIOD = 3
+
+#: Total programs held per memo, recorded + derived.  Derived programs
+#: share their structure arrays with the recording they came from, so
+#: this bounds key-table growth, not log memory.
+MAX_PROGRAMS = 64
+
+#: Shadow-frontend replay attempts that may *fail* per run before the
+#: partial-replay path disables itself (each failure costs one
+#: frontend-only re-simulation of the phase prefix that matched).
+MAX_PARTIAL_FAILURES = 4
+
+
+class PhaseProgram:
+    """One recorded scatter phase: structure log + counter deltas."""
+
+    __slots__ = ("active", "news_e", "merge_a", "merge_b",
+                 "deliver_slots", "deliver_dv", "leaf_u",
+                 "stat_deltas", "counter_deltas", "end_state", "cycles",
+                 "front_trace")
+
+    def __init__(self, active: np.ndarray) -> None:
+        self.active = active
+        self.news_e: list = []          # leaf slot -> edge index
+        self.merge_a: list = []         # combining log: tail slots
+        self.merge_b: list = []         # combining log: merged-in slots
+        self.deliver_slots: list = []   # delivery log, in delivery order
+        self.deliver_dv: list = []      # destination vertex per delivery
+        self.leaf_u: np.ndarray | None = None   # source vertex per leaf
+        self.stat_deltas: dict = {}
+        self.counter_deltas: tuple = ()
+        self.end_state: tuple = ()
+        self.cycles = 0
+        self.front_trace = FrontTrace()  # frontend interface stream
+
+    # ------------------------------------------------------------------
+    def finalize(self, offsets: np.ndarray, dst: np.ndarray) -> None:
+        """Derive the structural arrays the value pass needs."""
+        e = np.asarray(self.news_e, dtype=np.int64)
+        self.news_e = e
+        # the CSR row containing edge e is its source vertex
+        self.leaf_u = np.searchsorted(offsets, e, side="right") - 1
+        slots = np.asarray(self.deliver_slots, dtype=np.int64)
+        self.deliver_slots = slots.tolist()
+        self.deliver_dv = dst[e[slots]].tolist() if len(slots) else []
+
+    # ------------------------------------------------------------------
+    def value_pass(self, algorithm, sprop_all: np.ndarray,
+                   weights: np.ndarray, tprop: list) -> None:
+        """Re-execute the float plane of the recorded phase.
+
+        Leaves are vectorized; the merge and delivery loops replay the
+        recorded reduction tree node for node, so every float op runs
+        with the same operands in the same order as the simulated
+        hardware's vPEs and combining units.
+        """
+        e = self.news_e
+        if len(e) == 0:
+            return
+        leaf = sprop_all[self.leaf_u]
+        if not algorithm.process_is_identity:
+            leaf = algorithm.process_edge_vec(leaf, weights[e])
+        vals = leaf.tolist()
+        reduce_fn = algorithm.scalar_reduce_fn()
+        for a, b in zip(self.merge_a, self.merge_b):
+            vals[a] = reduce_fn(vals[a], vals[b])
+        for dv, s in zip(self.deliver_dv, self.deliver_slots):
+            tprop[dv] = reduce_fn(tprop[dv], vals[s])
+
+    # ------------------------------------------------------------------
+    def derive(self, front_deltas: tuple, front_end_state: tuple,
+               n_front_sites: int) -> "PhaseProgram":
+        """A copy of this program with the frontend segment replaced.
+
+        Built after a successful shadow-frontend replay: the structure
+        log, downstream deltas and downstream end state are provably
+        shared; only the frontend's counter deltas and arbiter end
+        state differ.  Structure arrays are shared by reference.
+        """
+        p = PhaseProgram(self.active)
+        p.news_e = self.news_e
+        p.merge_a = self.merge_a
+        p.merge_b = self.merge_b
+        p.deliver_slots = self.deliver_slots
+        p.deliver_dv = self.deliver_dv
+        p.leaf_u = self.leaf_u
+        p.stat_deltas = self.stat_deltas
+        p.counter_deltas = (tuple(front_deltas)
+                            + tuple(self.counter_deltas[n_front_sites:]))
+        p.end_state = (front_end_state, self.end_state[1], self.end_state[2])
+        p.cycles = self.cycles
+        p.front_trace = self.front_trace
+        return p
+
+
+class PhaseMemo:
+    """Subnetwork-keyed store of recorded phases for one engine.
+
+    Keys are ``(front_key, edge_key, prop_key)`` composites.  Full
+    matches replay directly; a downstream-only match
+    (``by_downstream``) triggers the shadow-frontend partial replay.
+
+    Recording is *evidence-driven*.  For a fixed all-active frontier
+    the phase map is deterministic — state ``k+1`` is a function of
+    state ``k`` — so the state sequence is a tail leading into a cycle,
+    and **any state seen twice is proven to recur forever**.  The memo
+    therefore records the very first phase speculatively (a stable
+    state replays from iteration 2), then records exactly the states
+    it has seen before (second sighting ⇒ in the cycle ⇒ the recording
+    will replay every period), plus any state once replay has already
+    fired this run.  A run whose state just keeps drifting records one
+    phase and nothing more — recording shims are not free, and an
+    unreplayed recording is pure overhead.
+
+    Failed partial attempts are remembered so one incompatible
+    frontend state is only ever re-simulated once.
+    """
+
+    __slots__ = ("programs", "by_downstream", "recordings", "hits",
+                 "phases", "seen", "recurring",
+                 "partial_failures", "failed_pairs")
+
+    def __init__(self) -> None:
+        self.programs: dict = {}
+        self.by_downstream: dict = {}
+        self.recordings = 0
+        self.hits = 0
+        self.phases = 0
+        self.seen: dict = {}
+        self.recurring = False
+        self.partial_failures = 0
+        self.failed_pairs: set = set()
+
+    def phase_starting(self, key: tuple) -> None:
+        """Per-phase bookkeeping: is ``key`` proven to recur, soon?"""
+        self.phases += 1
+        last = self.seen.get(key)
+        self.recurring = (last is not None
+                          and self.phases - last <= MAX_RECURRENCE_PERIOD)
+        self.seen[key] = self.phases
+
+    def lookup(self, key: tuple, active: np.ndarray):
+        prog = self.programs.get(key)
+        if prog is not None and np.array_equal(prog.active, active):
+            self.hits += 1
+            return prog
+        return None
+
+    def can_record(self, key: tuple) -> bool:
+        if self.recordings >= MAX_RECORDINGS or key in self.programs:
+            return False
+        return (self.phases <= SPECULATIVE_PHASES   # opening speculation
+                or self.recurring                   # proven cycle state
+                or self.hits > 0)                   # replay already pays here
+
+    def store(self, key: tuple, prog: PhaseProgram) -> None:
+        self.programs[key] = prog
+        self.recordings += 1
+        self.by_downstream.setdefault(key[1:], prog)
+
+    # -- partial replay ------------------------------------------------
+    def partial_candidate(self, key: tuple, active: np.ndarray):
+        """A program whose edge+propagation segments match ``key``."""
+        if self.partial_failures >= MAX_PARTIAL_FAILURES:
+            return None
+        prog = self.by_downstream.get(key[1:])
+        if prog is None or (key[0], key[1:]) in self.failed_pairs:
+            return None
+        if not np.array_equal(prog.active, active):
+            return None
+        return prog
+
+    def partial_failed(self, key: tuple) -> None:
+        self.failed_pairs.add((key[0], key[1:]))
+        self.partial_failures += 1
+
+    def store_derived(self, key: tuple, prog: PhaseProgram) -> None:
+        self.hits += 1      # a successful partial replay is a hit too
+        if len(self.programs) < MAX_PROGRAMS:
+            self.programs[key] = prog
+
+
+class PhaseRecorder:
+    """Live logging shims for the phase being recorded."""
+
+    __slots__ = ("prog", "news_e", "merge_a", "merge_b", "deliver")
+
+    def __init__(self, prog: PhaseProgram) -> None:
+        self.prog = prog
+        self.news_e = prog.news_e
+        self.merge_a = prog.merge_a
+        self.merge_b = prog.merge_b
+        self.deliver = prog.deliver_slots
+
+    def reduce(self, a, b):
+        """Stand-in for ``Reduce`` while immediates are slot ids.
+
+        A merge keeps the tail's slot (the hardware folds the mover
+        into the FIFO tail); a delivery — the accumulator is the
+        ``None`` sentinel the recorder put in tProperty — logs the
+        delivered slot and leaves the sentinel in place.
+        """
+        if a is None:
+            self.deliver.append(b)
+            return None
+        self.merge_a.append(a)
+        self.merge_b.append(b)
+        return a

@@ -196,6 +196,8 @@ class SectionSpec:
     ``table_title``/``columns``/``floatfmt`` mirror the ``emit(...)``
     calls of the benchmark suite exactly, so a regenerated ``.txt`` is
     byte-identical to what a benchmark run writes for the same rows.
+    ``chart`` (optional) renders the rows as the section's unicode
+    chart for ``repro report --charts``.
     """
 
     key: str
@@ -205,6 +207,61 @@ class SectionSpec:
     floatfmt: str = ".2f"
     #: section rides the sweep engine (its rows come from cached sims)
     simulated: bool = True
+    #: rows -> unicode chart text (``bench/charts.py``), or None
+    chart: Callable | None = None
+
+
+# -- chart builders (repro report --charts) ----------------------------
+# The same bar/series shapes `repro figure` prints interactively, one
+# per section whose rows have a natural chart.
+
+def _chart_fig4(rows):
+    from repro.bench.charts import bar_chart
+    return bar_chart(rows, "ports", "frequency_ghz",
+                     title="crossbar frequency (GHz) vs ports")
+
+
+def _chart_fig8(rows):
+    from repro.bench.charts import bar_chart
+    return bar_chart(rows, "dataset", "speedup_higraph",
+                     group_key="algorithm",
+                     title="HiGraph speedup over GraphDynS")
+
+
+def _chart_fig9(rows):
+    from repro.bench.charts import bar_chart
+    return bar_chart(rows, "dataset", "higraph_gteps",
+                     group_key="algorithm", title="HiGraph GTEPS")
+
+
+def _chart_fig10a(rows):
+    from repro.bench.charts import bar_chart
+    return bar_chart(rows, "step", "gteps", group_key="algorithm",
+                     title="GTEPS per optimization step")
+
+
+def _chart_fig10b(rows):
+    from repro.bench.charts import bar_chart
+    return bar_chart(rows, "step", "starvation_cycles",
+                     group_key="algorithm",
+                     title="vPE starvation cycles per optimization step")
+
+
+def _chart_fig11(rows):
+    from repro.bench.charts import series_chart
+    return series_chart(rows, "back_channels", "gteps", "design",
+                        title="GTEPS vs back-end channels")
+
+
+def _chart_fig12(rows):
+    from repro.bench.charts import series_chart
+    return series_chart(rows, "buffer_entries", "gteps", "design",
+                        title="GTEPS vs per-channel buffer entries")
+
+
+def _chart_radix(rows):
+    from repro.bench.charts import bar_chart
+    return bar_chart(rows, "radix", "gteps", title="GTEPS per radix")
 
 
 _SECTION_SPECS = (
@@ -214,25 +271,29 @@ _SECTION_SPECS = (
                 "Table 2: benchmark datasets", floatfmt=".4g", simulated=False),
     SectionSpec("fig04_crossbar_frequency", _build_fig4,
                 "Fig. 4: frequency vs crossbar ports", floatfmt=".3f",
-                simulated=False),
+                simulated=False, chart=_chart_fig4),
     SectionSpec("fig07_memory_layout", _build_fig7,
                 "Fig. 7: on-chip memory layout", simulated=False),
     SectionSpec("fig08_speedup", _build_fig8,
-                "Fig. 8: speedup over GraphDynS"),
+                "Fig. 8: speedup over GraphDynS", chart=_chart_fig8),
     SectionSpec("fig09_throughput", _build_fig9,
-                "Fig. 9: throughput (GTEPS)"),
+                "Fig. 9: throughput (GTEPS)", chart=_chart_fig9),
     SectionSpec("fig10a_opt_throughput", _build_fig10,
-                "Fig. 10(a): effect of optimizations on throughput (R14)"),
+                "Fig. 10(a): effect of optimizations on throughput (R14)",
+                chart=_chart_fig10a),
     SectionSpec("fig10b_starvation", _build_fig10,
                 "Fig. 10(b): vPE starvation cycles (R14)",
                 columns=("algorithm", "step", "starvation_cycles"),
-                floatfmt=".0f"),
+                floatfmt=".0f", chart=_chart_fig10b),
     SectionSpec("fig11_scalability", _build_fig11,
-                "Fig. 11: throughput vs back-end channels (PR, R14)"),
+                "Fig. 11: throughput vs back-end channels (PR, R14)",
+                chart=_chart_fig11),
     SectionSpec("fig12_buffer_size", _build_fig12,
-                "Fig. 12: throughput vs FIFO buffer size (PR, R14)"),
+                "Fig. 12: throughput vs FIFO buffer size (PR, R14)",
+                chart=_chart_fig12),
     SectionSpec("sec54_radix", _build_radix,
-                "Sec. 5.4: radix design option (PR, R14)", floatfmt=".3f"),
+                "Sec. 5.4: radix design option (PR, R14)", floatfmt=".3f",
+                chart=_chart_radix),
     SectionSpec("sec54_area_power", _build_area,
                 "Sec. 5.4: area and power of the propagation site",
                 floatfmt=".3f", simulated=False),
@@ -323,13 +384,17 @@ def regenerate(results_dir: str, sections=None, num_workers: int | None = 1,
                cache: ResultCache | str | os.PathLike | None = None,
                report_path: str | None = None,
                provenance_path: str | None = None,
-               progress: Callable[[dict], None] | None = None) -> RegenReport:
+               progress: Callable[[dict], None] | None = None,
+               charts: bool = False) -> RegenReport:
     """Regenerate section tables and the consolidated report from cache.
 
     Renders each selected section's ``.txt`` under ``results_dir`` (rows
     pulled through the sweep executor, so a warm ``cache`` simulates
     nothing), rebuilds ``REPORT.md`` from everything present in
-    ``results_dir``, and writes the run-accounting sidecar.
+    ``results_dir``, and writes the run-accounting sidecar.  With
+    ``charts``, sections that declare a chart also render it as
+    ``<key>.chart.txt`` and REPORT.md embeds the charts under the
+    tables (same rows, so cold and warm runs stay byte-identical).
     ``progress``, if given, is called with each finished section record.
     """
     keys = resolve_sections(sections)
@@ -339,6 +404,7 @@ def regenerate(results_dir: str, sections=None, num_workers: int | None = 1,
 
     records: list[dict] = []
     rendered: list[tuple[str, str]] = []
+    rendered_charts: list[tuple[str, str]] = []
     for key in keys:
         spec = SECTIONS[key]
         t0 = time.perf_counter()
@@ -347,6 +413,12 @@ def regenerate(results_dir: str, sections=None, num_workers: int | None = 1,
             rows, columns=list(spec.columns) if spec.columns else None,
             title=spec.table_title, floatfmt=spec.floatfmt)
         rendered.append((key, text))
+        if spec.chart is not None and (charts or os.path.exists(
+                os.path.join(results_dir, f"{key}.chart.txt"))):
+            # an existing chart file is refreshed even without --charts:
+            # a chart must always derive from the same rows as the table
+            # above it, never from a previous regeneration's cache state
+            rendered_charts.append((key, spec.chart(rows)))
         record = {"section": key, "rows": len(rows), "simulated": spec.simulated,
                   "wall_seconds": round(time.perf_counter() - t0, 6), **acct}
         records.append(record)
@@ -358,6 +430,8 @@ def regenerate(results_dir: str, sections=None, num_workers: int | None = 1,
     # staleness check must not flag its own output
     for key, text in rendered:
         save_rows(os.path.join(results_dir, f"{key}.txt"), text)
+    for key, text in rendered_charts:
+        save_rows(os.path.join(results_dir, f"{key}.chart.txt"), text)
 
     cache_dir = str(ctx.cache.root) if ctx.cache is not None else None
     report_path = report_path or os.path.join(results_dir, "REPORT.md")
@@ -366,7 +440,7 @@ def regenerate(results_dir: str, sections=None, num_workers: int | None = 1,
 
     version = code_version()
     report_text = build_report(
-        results_dir, cache_dir=cache_dir,
+        results_dir, cache_dir=cache_dir, charts=charts,
         provenance={
             "code version": version,
             "result cache": cache_dir or "(none — simulated in-process)",

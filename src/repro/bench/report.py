@@ -52,6 +52,22 @@ def collect_results(results_dir: str) -> dict[str, str]:
     return found
 
 
+def collect_charts(results_dir: str) -> dict[str, str]:
+    """Read every section's rendered unicode chart, if present.
+
+    Charts are written as ``<section>.chart.txt`` next to the tables by
+    ``repro report --charts`` (:func:`repro.bench.regen.regenerate`);
+    sections without a natural chart simply have no file.
+    """
+    found = {}
+    for key, _title in REPORT_SECTIONS:
+        path = os.path.join(results_dir, f"{key}.chart.txt")
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                found[key] = fh.read()
+    return found
+
+
 def newest_cache_mtime(cache_dir: str | os.PathLike | None) -> float | None:
     """Modification time of the youngest result-cache entry, if any.
 
@@ -93,17 +109,22 @@ def section_status(results_dir: str,
 
 def build_report(results_dir: str, title: str = "HiGraph reproduction — "
                  "measured results", cache_dir: str | os.PathLike | None = None,
-                 provenance: dict[str, str] | None = None) -> str:
+                 provenance: dict[str, str] | None = None,
+                 charts: bool = False) -> str:
     """Render the consolidated markdown report.
 
     ``cache_dir`` enables the per-section staleness check (see
-    :func:`section_status`).  ``provenance`` adds a final section of
-    ``label: value`` lines; callers must pass only run-independent
-    values there so that regenerating from a warm cache reproduces the
-    report byte-for-byte (volatile accounting belongs in the JSON
-    sidecar written by :func:`repro.bench.regen.regenerate`).
+    :func:`section_status`).  ``charts`` appends each section's
+    rendered unicode chart (``<section>.chart.txt``, written by
+    ``repro report --charts``) under its table.  ``provenance`` adds a
+    final section of ``label: value`` lines; callers must pass only
+    run-independent values there so that regenerating from a warm
+    cache reproduces the report byte-for-byte (volatile accounting
+    belongs in the JSON sidecar written by
+    :func:`repro.bench.regen.regenerate`).
     """
     tables = collect_results(results_dir)
+    chart_texts = collect_charts(results_dir) if charts else {}
     status = section_status(results_dir, cache_dir)
     lines = [f"# {title}", "",
              f"Generated {date.today().isoformat()} from `{results_dir}`.",
@@ -121,6 +142,11 @@ def build_report(results_dir: str, title: str = "HiGraph reproduction — "
             lines.append(tables[key].rstrip("\n"))
             lines.append("```")
             lines.append("")
+            if key in chart_texts:
+                lines.append("```")
+                lines.append(chart_texts[key].rstrip("\n"))
+                lines.append("```")
+                lines.append("")
         else:
             missing.append(section_title)
     if missing:

@@ -110,6 +110,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: every section); see --list-sections")
     rep.add_argument("--out", default=None,
                      help="REPORT.md path (default: <results-dir>/REPORT.md)")
+    rep.add_argument("--charts", action="store_true",
+                     help="also render each section's unicode chart "
+                          "(<section>.chart.txt) and embed it in REPORT.md")
     rep.add_argument("--list-sections", action="store_true",
                      help="print section keys + figure aliases and exit")
     rep.add_argument("--engine", default=None, choices=list(ENGINES),
@@ -371,6 +374,7 @@ def _cmd_report(args) -> int:
                 cache=args.cache_dir,
                 report_path=args.out,
                 progress=_progress,
+                charts=args.charts,
             )
     except (ReproError, ValueError, OSError) as exc:
         print(f"report regeneration failed: {exc}", file=sys.stderr)

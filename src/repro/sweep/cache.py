@@ -48,7 +48,9 @@ def code_version() -> str:
         h = hashlib.sha256()
         paths: list[Path] = [root / name for name in CODE_VERSION_MODULES]
         for sub in CODE_VERSION_SUBPACKAGES:
-            paths.extend(sorted((root / sub).glob("*.py")))
+            # recursive: nested packages (e.g. accel/engine/) must
+            # invalidate cache entries exactly like top-level modules
+            paths.extend(sorted((root / sub).rglob("*.py")))
         for path in paths:
             h.update(str(path.relative_to(root)).encode("utf-8"))
             h.update(b"\0")

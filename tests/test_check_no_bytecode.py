@@ -1,0 +1,57 @@
+"""Tests for the tracked-bytecode CI guard (scripts/check_no_bytecode.py)."""
+
+import importlib.util
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+_spec = importlib.util.spec_from_file_location(
+    "check_no_bytecode", SCRIPTS / "check_no_bytecode.py")
+cnb = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_no_bytecode", cnb)
+_spec.loader.exec_module(cnb)
+
+
+class TestBytecodePaths:
+    def test_flags_pyc_and_pyo(self):
+        assert cnb.bytecode_paths(["a.pyc", "b/c.pyo", "d.py"]) == [
+            "a.pyc", "b/c.pyo"]
+
+    def test_flags_pycache_directories_anywhere(self):
+        paths = ["src/repro/__pycache__/engine.cpython-311.pyc",
+                 "__pycache__/x.txt",
+                 "deep/__pycache__/y.json"]
+        assert cnb.bytecode_paths(paths) == paths
+
+    def test_does_not_flag_lookalikes(self):
+        assert cnb.bytecode_paths(["docs/pycache.md",
+                                   "src/__pycache__x/ok.py",
+                                   "notes/pyc.rst",
+                                   "typed.pyi"]) == []
+
+    def test_empty_input(self):
+        assert cnb.bytecode_paths([]) == []
+
+
+class TestMain:
+    def test_clean_list_passes(self, capsys):
+        assert cnb.main(["src/a.py", "README.md"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_tracked_bytecode_fails_with_diagnosis(self, capsys):
+        assert cnb.main(["src/__pycache__/a.cpython-311.pyc", "b.py"]) == 1
+        err = capsys.readouterr().err
+        assert "src/__pycache__/a.cpython-311.pyc" in err
+        assert "git rm --cached" in err
+
+    @pytest.mark.skipif(shutil.which("git") is None, reason="git unavailable")
+    def test_this_repository_is_clean(self):
+        """The guard, run for real: the repo must never regress."""
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPTS / "check_no_bytecode.py")],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr

@@ -188,6 +188,43 @@ class TestReportCommand:
         assert "Table 1 — configurations" in text
         assert "## Provenance" in text
 
+    def test_charts_rendered_and_embedded(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        assert main(["report", "--results-dir", str(results), "--charts",
+                     "--section", "fig4", "--section", "table1"]) == 0
+        chart = results / "fig04_crossbar_frequency.chart.txt"
+        assert chart.exists()
+        assert "█" in chart.read_text()     # bars actually rendered
+        # table1 has no natural chart: no file, no crash
+        assert not (results / "table1_configs.chart.txt").exists()
+        report = (results / "REPORT.md").read_text()
+        assert "crossbar frequency (GHz) vs ports" in report
+
+    def test_charts_off_by_default(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        assert main(["report", "--results-dir", str(results), "--charts",
+                     "--section", "fig4"]) == 0
+        # a later run without --charts leaves the chart file but omits
+        # the chart blocks from the rebuilt report
+        assert main(["report", "--results-dir", str(results),
+                     "--section", "fig4"]) == 0
+        report = (results / "REPORT.md").read_text()
+        assert "crossbar frequency (GHz) vs ports" not in report
+
+    def test_existing_chart_refreshed_without_charts_flag(self, tmp_path):
+        """A chart must always derive from the same rows as its table:
+        regenerating a section rewrites an existing chart file even
+        when --charts is not given, so it can never go stale."""
+        results = tmp_path / "results"
+        assert main(["report", "--results-dir", str(results), "--charts",
+                     "--section", "fig4"]) == 0
+        chart = results / "fig04_crossbar_frequency.chart.txt"
+        fresh = chart.read_text()
+        chart.write_text("stale chart from an older cache\n")
+        assert main(["report", "--results-dir", str(results),
+                     "--section", "fig4"]) == 0
+        assert chart.read_text() == fresh
+
     def test_unknown_section_fails_cleanly(self, tmp_path, capsys):
         assert main(["report", "--results-dir", str(tmp_path),
                      "--section", "nope"]) == 2

@@ -11,7 +11,12 @@ enforces the contract over
   is exercised: mdp/crossbar offset, mdp/central edge, mdp/crossbar
   propagation, with and without vertex combining);
 * randomized rmat / Erdos-Renyi / star / grid graphs;
-* the sliced (large-graph) execution mode;
+* the sliced (large-graph) execution mode, including per-slice phase
+  replay (each slice engine owns its own window memo);
+* partially-repeating phases: frontend arbiter flips that either verify
+  against the recorded emission stream (partial replay fires) or
+  diverge (the phase falls back to full simulation) — byte-identical
+  either way;
 * engine-selection plumbing: defaults, the ``REPRO_ENGINE`` override,
   cache-token sharing, and the tracer's reference-only restriction.
 """
@@ -234,7 +239,7 @@ class TestWindowBoundaries:
     The batched engine picks a probe-free no-backpressure variant per
     cycle (total in flight under the FIFO block line), bulk
     fast-forwards contention-free drains, and replays whole recorded
-    phases for all-active algorithms (``repro.accel.phase_memo``).
+    phases for all-active algorithms (``repro.accel.engine.windows``).
     These configurations force every boundary: windows that open and
     close mid-drain, combining on the last pre-window cycle, minimum
     depths where backpressure never clears, and arbiter states that
@@ -328,12 +333,142 @@ class TestWindowBoundaries:
                 assert_engines_agree(cfg, graph, algorithm)
 
 
+class TestPartialRepeat:
+    """Partially-repeating phases: per-subnetwork window keys.
+
+    A phase whose edge+propagation arbiter segments match a recorded
+    program but whose frontend segment does not is replayed by
+    re-simulating *only* the frontend against the recorded pull
+    schedule.  A verified emission match commits the recorded
+    downstream segments; a divergence falls back to full simulation.
+    Either way the result must be byte-identical to the reference
+    engine — these cases pin both paths and the telemetry.
+    """
+
+    def test_frontend_flip_partial_replay_fires(self):
+        """Rotating-scan frontend drift over a stable MDP propagation
+        site, lockstep (uniform-degree) channels: the shadow-frontend
+        replay must fire and stay byte-identical."""
+        graph = grid_2d(12, 12)
+        cfg = ablation(opt_d=True)
+        alg = make_algorithm("PR", iterations=6)
+        sim = AcceleratorSim(cfg, graph, alg, engine="batched")
+        result = sim.run(source=0)
+        assert sim.engine.ffwd_partial_windows > 0, (
+            "frontend-flip phase never partial-replayed — the "
+            "per-subnetwork key machinery regressed")
+        ref = simulate(cfg, graph, make_algorithm("PR", iterations=6),
+                       source=0, engine="reference")
+        assert result.stats.to_dict() == ref.stats.to_dict()
+        assert np.array_equal(result.properties, ref.properties)
+
+    def test_ablation_sites_replay_and_stay_identical(self):
+        """Mixed-site ablation configs (the Fig. 10 steps) replay too
+        once their arbiter states prove periodic."""
+        graph = grid_2d(12, 12)
+        cfg = ablation(opt_e=True, opt_d=True, front_channels=16,
+                       back_channels=16)
+        alg = make_algorithm("PR", iterations=6)
+        sim = AcceleratorSim(cfg, graph, alg, engine="batched")
+        result = sim.run(source=0)
+        assert sim.engine.ffwd_windows > 0
+        ref = simulate(cfg, graph, make_algorithm("PR", iterations=6),
+                       source=0, engine="reference")
+        assert result.stats.to_dict() == ref.stats.to_dict()
+        assert np.array_equal(result.properties, ref.properties)
+
+    def test_divergent_frontend_falls_back_to_full_simulation(self):
+        """A parity flip that genuinely changes the emission stream must
+        be *rejected* by the shadow verification, never spliced."""
+        graph = rmat(8, 6.0, seed=23, name="rmat8-23")
+        alg = make_algorithm("PR", iterations=8)
+        sim = AcceleratorSim(higraph(), graph, alg, engine="batched")
+        result = sim.run(source=0)
+        memo = sim.engine.phase_memo
+        assert memo is not None
+        # skewed degrees stagger the channels, so the flipped phase
+        # diverges and is remembered as a failed pair
+        assert memo.partial_failures > 0
+        ref = simulate(higraph(), graph, make_algorithm("PR", iterations=8),
+                       source=0, engine="reference")
+        assert result.stats.to_dict() == ref.stats.to_dict()
+        assert np.array_equal(result.properties, ref.properties)
+
+    def test_multi_state_memo_replays_periodic_arbiter_states(self):
+        """Odd-length phases flip the odd-even parity every phase; the
+        memo must record both states once they prove periodic and
+        replay afterwards instead of missing forever (the old
+        single-program behavior)."""
+        graph = rmat(8, 6.0, seed=23, name="rmat8-23")
+        alg = make_algorithm("PR", iterations=8)
+        sim = AcceleratorSim(higraph(), graph, alg, engine="batched")
+        sim.run(source=0)
+        assert sim.engine.ffwd_windows > 0, (
+            "multi-state memo never replayed a periodic arbiter state")
+
+    @pytest.mark.parametrize("maker", [higraph, graphdyns, higraph_mini],
+                             ids=["HiGraph", "GraphDynS", "HiGraph-mini"])
+    def test_long_pr_runs_stay_identical(self, maker):
+        """Many iterations exercise record → partial → derived-program
+        chains; every counter must still match the reference."""
+        graph = erdos_renyi(300, 2400, seed=7, name="er-7")
+        ref = simulate(maker(), graph, make_algorithm("PR", iterations=8),
+                       engine="reference")
+        bat = simulate(maker(), graph, make_algorithm("PR", iterations=8),
+                       engine="batched")
+        assert bat.stats.to_dict() == ref.stats.to_dict()
+        assert np.array_equal(ref.properties, bat.properties)
+
+
+class TestSlicedReplay:
+    """Per-slice phase programs: each slice engine owns its own memo and
+    re-presents the same frontier every iteration, so sliced all-active
+    runs must hit replay from iteration 2 onward — per slice — while
+    staying byte-identical to the reference engine."""
+
+    @pytest.mark.parametrize("maker", [higraph, graphdyns, higraph_mini],
+                             ids=["HiGraph", "GraphDynS", "HiGraph-mini"])
+    def test_replay_fires_on_every_slice(self, maker):
+        graph = rmat(8, 6.0, seed=13, name="rmat8-13")
+        slices = partition_by_destination(graph, 3)
+        results = {}
+        sims = {}
+        for engine in ENGINES:
+            sim = SlicedAcceleratorSim(maker(), graph,
+                                       make_algorithm("PR", iterations=6),
+                                       slices=slices, engine=engine)
+            sims[engine] = sim
+            results[engine] = sim.run(source=0)
+        assert (results["batched"].stats.to_dict()
+                == results["reference"].stats.to_dict())
+        assert np.array_equal(results["batched"].properties,
+                              results["reference"].properties)
+        for index, slice_sim in enumerate(sims["batched"].slice_sims):
+            assert slice_sim.engine.ffwd_windows > 0, (
+                f"slice {index} never replayed a phase — per-slice "
+                "window keying regressed")
+
+    def test_sliced_partial_replay_fires(self):
+        """The rotating-scan frontend drifts per slice too; the shadow
+        replay must fire inside sliced mode."""
+        graph = rmat(8, 6.0, seed=13, name="rmat8-13")
+        slices = partition_by_destination(graph, 3)
+        sim = SlicedAcceleratorSim(graphdyns(), graph,
+                                   make_algorithm("PR", iterations=6),
+                                   slices=slices, engine="batched")
+        sim.run(source=0)
+        assert any(s.engine.ffwd_partial_windows > 0
+                   for s in sim.slice_sims)
+
+
 class TestFastForwardTelemetry:
     def test_probe_telemetry_counts_windows_and_cycles(self):
         from repro.accel.engine import FFWD_TELEMETRY, reset_ffwd_telemetry
         telemetry = reset_ffwd_telemetry()
         assert telemetry == {"windows": 0, "cycles_fast_forwarded": 0,
-                             "cycles_simulated": 0, "events": 0}
+                             "cycles_simulated": 0, "events": 0,
+                             "partial_windows": 0,
+                             "front_cycles_resimulated": 0}
         graph = rmat(8, 6.0, seed=23, name="rmat8-23")
         simulate(higraph_mini(), graph, make_algorithm("PR", iterations=6),
                  engine="batched")
@@ -342,6 +477,21 @@ class TestFastForwardTelemetry:
         assert FFWD_TELEMETRY["cycles_fast_forwarded"] > 0
         assert FFWD_TELEMETRY["events"] > 0
         reset_ffwd_telemetry()
+
+    def test_two_back_to_back_runs_do_not_leak_counters(self):
+        """FFWD_TELEMETRY is zeroed at the start of every batched-engine
+        run, so a run's numbers never include a previous run's."""
+        from repro.accel.engine import FFWD_TELEMETRY
+        graph = rmat(8, 6.0, seed=23, name="rmat8-23")
+        simulate(higraph_mini(), graph, make_algorithm("PR", iterations=6),
+                 engine="batched")
+        first = dict(FFWD_TELEMETRY)
+        simulate(higraph_mini(), graph, make_algorithm("PR", iterations=6),
+                 engine="batched")
+        assert dict(FFWD_TELEMETRY) == first, (
+            "telemetry leaked across runs — identical back-to-back runs "
+            "must report identical (not accumulated) counters")
+        assert first["windows"] > 0      # and the run genuinely replayed
 
     def test_reference_engine_does_not_touch_telemetry(self):
         from repro.accel.engine import FFWD_TELEMETRY, reset_ffwd_telemetry
