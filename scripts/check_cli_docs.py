@@ -1,43 +1,25 @@
 #!/usr/bin/env python3
 """Check docs/cli.md against the real CLI.
 
-Two invariants, both directions:
-
-* every subcommand the docs name (any ```repro <word>`` mention or a
-  ``## `repro <word>` `` heading) must exist in ``repro --help``;
-* every subcommand the parser defines must be documented.
-
-Exits non-zero with a per-name diagnosis on any mismatch, so CI fails
-when the CLI and its manual drift apart.
+Thin shim: the logic lives in :mod:`repro.analysis.rules.repo` (lint
+rule ``cli-docs``), shared with ``repro lint``.  Kept runnable on its
+own for a focused local check.
 """
 
-import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.cli import build_parser  # noqa: E402
+from repro.analysis.rules import repo as _repo  # noqa: E402
+
+actual_subcommands = _repo.actual_subcommands
 
 
 def documented_subcommands(doc_path: Path) -> set[str]:
-    text = doc_path.read_text(encoding="utf-8")
-    return set(re.findall(r"`(?:python -m )?repro ([a-z][a-z0-9-]*)", text))
-
-
-def actual_subcommands() -> set[str]:
-    parser = build_parser()
-    help_text = parser.format_help()
-    names = set()
-    for action in parser._subparsers._group_actions:      # argparse internals,
-        names.update(action.choices)                      # stable since 2.7
-    missing_from_help = {n for n in names if n not in help_text}
-    if missing_from_help:
-        raise AssertionError(
-            f"parser defines {sorted(missing_from_help)} but --help "
-            "does not mention them")
-    return names
+    return _repo.documented_subcommands(
+        doc_path.read_text(encoding="utf-8"))
 
 
 def main() -> int:

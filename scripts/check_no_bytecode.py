@@ -1,32 +1,31 @@
 #!/usr/bin/env python3
 """Fail when compiled Python bytecode is tracked by git.
 
-``__pycache__`` directories and ``.pyc``/``.pyo`` files are build
-artifacts; committing them bloats diffs and goes stale the moment the
-source changes (it happened once — commit 14fb013).  ``.gitignore``
-keeps new ones out of ``git add .``; this check keeps CI honest about
-anything that slips past it.  Run by ``scripts/ci.sh tests``.
+Thin shim: the logic lives in :mod:`repro.analysis.rules.repo` (lint
+rule ``no-bytecode``), shared with ``repro lint``.  This entry point
+remains for direct invocation and for checking an explicit path list.
+Run by ``scripts/ci.sh lint`` (via ``repro lint``); kept runnable on
+its own.
 """
 
 from __future__ import annotations
 
-import subprocess
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.analysis.rules import repo as _repo  # noqa: E402
 
-def bytecode_paths(paths: list[str]) -> list[str]:
-    """The subset of ``paths`` that is compiled-bytecode artifacts."""
-    return [p for p in paths
-            if p.endswith((".pyc", ".pyo")) or "__pycache__" in p.split("/")]
+bytecode_paths = _repo.bytecode_paths
 
 
 def tracked_files() -> list[str]:
-    out = subprocess.run(["git", "ls-files"], cwd=REPO_ROOT, check=True,
-                         capture_output=True, text=True)
-    return out.stdout.splitlines()
+    paths = _repo.tracked_files(REPO_ROOT)
+    if paths is None:
+        raise SystemExit(f"check_no_bytecode: git is unusable in {REPO_ROOT}")
+    return paths
 
 
 def main(paths: list[str] | None = None) -> int:

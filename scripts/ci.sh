@@ -3,6 +3,8 @@
 # Actions workflow (.github/workflows/ci.yml) share one script:
 #
 #   ci.sh            == ci.sh all
+#   ci.sh lint       `repro lint` contract & determinism analyzer
+#                    (cache keys, module state, telemetry reset, repo guards)
 #   ci.sh tests      tier-1 pytest (includes the engine differential suite)
 #   ci.sh docs       docs/cli.md vs `repro --help` consistency check
 #   ci.sh sweep      cold+warm smoke sweep (executor + result cache)
@@ -28,17 +30,20 @@ cleanup() { ((${#CI_TMP_DIRS[@]})) && rm -rf "${CI_TMP_DIRS[@]}"; }
 trap cleanup EXIT
 ci_mktemp_d() { local d; d="$(mktemp -d)"; CI_TMP_DIRS+=("$d"); echo "$d"; }
 
-stage_tests() {
-    echo "== tracked-bytecode guard (no committed __pycache__/.pyc) =="
-    python scripts/check_no_bytecode.py
+stage_lint() {
+    echo "== repro lint (contract & determinism analyzer, 12 rules) =="
+    # hard gate: any non-baselined finding fails the build
+    python -m repro lint
+}
 
+stage_tests() {
     echo "== tier-1 tests (includes tests/test_engine_differential.py) =="
     python -m pytest -x -q
 }
 
 stage_docs() {
     echo "== docs check (docs/cli.md vs repro --help) =="
-    python scripts/check_cli_docs.py
+    python -m repro lint --rule cli-docs
 }
 
 stage_sweep() {
@@ -106,12 +111,13 @@ if [ ${#stages[@]} -eq 0 ]; then
 fi
 for stage in "${stages[@]}"; do
     case "$stage" in
+        lint)   stage_lint ;;
         tests)  stage_tests ;;
         docs)   stage_docs ;;
         sweep)  stage_sweep ;;
         report) stage_report ;;
         perf)   stage_perf ;;
-        all)    stage_tests; stage_docs; stage_sweep; stage_report; stage_perf ;;
+        all)    stage_lint; stage_tests; stage_docs; stage_sweep; stage_report; stage_perf ;;
         -h|--help) usage ;;
         *) echo "ci.sh: unknown stage '$stage'" >&2; usage ;;
     esac

@@ -12,6 +12,7 @@ telemetry, not the other way around).
 from __future__ import annotations
 
 import os
+import types
 
 from repro.errors import ConfigError
 
@@ -61,10 +62,13 @@ def reset_ffwd_telemetry() -> dict:
     return FFWD_TELEMETRY
 
 
-_ENGINE_EQUIVALENCE = {
+#: Read-only: the equivalence map is consulted by every cache-key
+#: computation, so mutating it at runtime would silently alias cache
+#: entries across unverified engines.
+_ENGINE_EQUIVALENCE = types.MappingProxyType({
     "reference": _EQUIVALENCE_CLASS,
     "batched": _EQUIVALENCE_CLASS,
-}
+})
 
 
 def resolve_engine(name: str | None = None) -> str:

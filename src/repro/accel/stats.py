@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
 
+from repro.errors import StatsSchemaError
+
 
 @dataclass
 class SimStats:
@@ -82,7 +84,8 @@ class SimStats:
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
-            raise ValueError(f"unknown SimStats fields: {sorted(unknown)}")
+            raise StatsSchemaError(
+                f"unknown SimStats fields: {sorted(unknown)}")
         return cls(**data)
 
     # ------------------------------------------------------------------

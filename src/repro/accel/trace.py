@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import ConfigError
+
 
 @dataclass
 class PipelineTrace:
@@ -65,7 +67,7 @@ class PipelineTracer:
 
     def __init__(self, interval: int = 1) -> None:
         if interval < 1:
-            raise ValueError(f"interval must be >= 1, got {interval}")
+            raise ConfigError(f"interval must be >= 1, got {interval}")
         self.trace = PipelineTrace(interval=interval)
         self._interval = interval
         self._countdown = 0

@@ -1,0 +1,119 @@
+"""The committed grandfather file for justified findings.
+
+``lint-baseline.json`` (repo root) lists findings that are known,
+deliberate and explained.  Matching is by ``(rule, path, symbol)`` —
+never by line number — so ordinary edits don't un-suppress an entry,
+while deleting the offending code makes the entry *stale* (reported by
+the runner so the file shrinks back toward empty).
+
+Workflow (see ``docs/linting.md``):
+
+* a new justified exception: run ``repro lint --update-baseline``, then
+  replace the generated ``TODO`` justification with a real sentence;
+* a fixed finding: re-run ``--update-baseline`` (or hand-delete the
+  entry) — stale entries are flagged until removed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.errors import ConfigError
+
+#: Default baseline file name, resolved against the lint root.
+BASELINE_NAME = "lint-baseline.json"
+
+#: Justification placeholder written by ``--update-baseline`` for new
+#: entries; the runner warns while any entry still carries it.
+TODO_JUSTIFICATION = "TODO: justify this suppression or fix the finding"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    symbol: str
+    justification: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "symbol": self.symbol,
+                "justification": self.justification}
+
+
+class Baseline:
+    """An ordered set of :class:`BaselineEntry`, keyed for matching."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None) -> None:
+        self.entries = list(entries or [])
+        self._by_key = {e.key(): e for e in self.entries}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file (a missing file is an empty baseline)."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"unreadable lint baseline {path}: {exc}") from exc
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ConfigError(
+                f"malformed lint baseline {path}: expected an object with "
+                f"an 'entries' list")
+        entries = []
+        for i, raw in enumerate(payload["entries"]):
+            try:
+                entries.append(BaselineEntry(
+                    rule=raw["rule"], path=raw["path"],
+                    symbol=raw.get("symbol", ""),
+                    justification=raw.get("justification", "")))
+            except (TypeError, KeyError) as exc:
+                raise ConfigError(
+                    f"malformed lint baseline {path}: entry {i}: {exc}") from exc
+        return cls(entries)
+
+    def save(self, path: str | Path) -> None:
+        """Write deterministically (sorted entries, stable JSON)."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [e.to_dict() for e in sorted(self.entries,
+                                                    key=BaselineEntry.key)],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                              + "\n", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    def match(self, finding: Finding) -> BaselineEntry | None:
+        return self._by_key.get(finding.key())
+
+    def stale(self, matched: set[tuple[str, str, str]]) -> list[BaselineEntry]:
+        """Entries that matched no current finding (fixed or renamed)."""
+        return [e for e in self.entries if e.key() not in matched]
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding],
+                      previous: "Baseline | None" = None) -> "Baseline":
+        """Baseline every given finding, keeping prior justifications."""
+        entries = []
+        seen = set()
+        for finding in findings:
+            key = finding.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            old = previous._by_key.get(key) if previous is not None else None
+            entries.append(BaselineEntry(
+                rule=key[0], path=key[1], symbol=key[2],
+                justification=(old.justification if old is not None
+                               and old.justification else TODO_JUSTIFICATION)))
+        return cls(entries)

@@ -1,0 +1,34 @@
+"""The rule catalog.  Importing this package registers every rule.
+
+One module per concern, mirroring the invariants they guard:
+
+=================  ====================================================
+``state.py``       no module-level mutable state in the simulation core
+                   (the PR 3 ``backend.py`` bug class)
+``determinism.py`` unordered-set iteration, ``id()`` keys, wall-clock /
+                   unseeded-random calls in deterministic code
+``cachekey.py``    cache-key completeness: every ``AcceleratorConfig``
+                   field and every ``SweepJob`` axis reaches the key
+``telemetry.py``   every ``FFWD_TELEMETRY`` key written anywhere is
+                   zeroed by the engine-run-start reset
+``compat.py``      the ``accel/engine`` re-export surface covers the
+                   pre-split monolith; subnetworks implement the
+                   tick/arb_key/restore_arb/counter_sites seam
+``exceptions.py``  no bare/broad excepts in engine code; raised errors
+                   derive from :mod:`repro.errors`
+``repo.py``        refolded repo guards: tracked bytecode, docs/cli.md
+                   vs the real CLI, the BENCH history gate
+=================  ====================================================
+
+``docs/linting.md`` is the human-readable catalog.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effects)
+    cachekey,
+    compat,
+    determinism,
+    exceptions,
+    repo,
+    state,
+    telemetry,
+)

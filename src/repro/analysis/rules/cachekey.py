@@ -1,0 +1,165 @@
+"""``cache-key``: every config field and sweep axis reaches the key.
+
+The content-addressed result cache aliases two jobs exactly when their
+keys match, so a config field missing from the key is a silent
+wrong-result hazard (job A's stats resurface for a semantically
+different job B).  Two checks:
+
+* **SweepJob coverage (AST)** — every dataclass field of ``SweepJob``
+  must be read as ``self.<field>`` inside ``cache_key`` (axes applied
+  via ``config.with_`` ride on the config hash).  ``tags`` is the one
+  documented exemption: caller-owned display labels, never semantic.
+  ``engine`` must be *referenced* but deliberately maps through
+  :func:`repro.accel.engine.engine_cache_token`, so verified-equivalent
+  engines share entries — reference presence, not value sensitivity,
+  is what this check asserts for it.
+* **AcceleratorConfig coverage (semantic)** — for every dataclass
+  field, a single-field perturbation must change ``config_hash()`` and
+  the field must appear in ``to_dict()``.  This is checked by
+  *executing* the real class (validation bypassed via
+  ``object.__new__``, so structurally-constrained fields can still be
+  perturbed one at a time), which keeps the check honest even if the
+  implementation switches from the ``dataclasses.fields`` idiom to a
+  hand-written dict.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutils import (
+    dataclass_field_names,
+    find_class,
+    find_method,
+    self_attribute_loads,
+)
+from repro.analysis.registry import rule
+
+_JOBS_PATH = "src/repro/sweep/jobs.py"
+_CONFIG_PATH = "src/repro/accel/config.py"
+
+#: SweepJob fields that legitimately stay out of the cache key.
+EXEMPT_SWEEPJOB_FIELDS = {
+    "tags": "caller-owned display labels, never semantic",
+}
+
+
+@rule("cache-key", scope="project", description=(
+    "cache-key completeness: every AcceleratorConfig field must perturb "
+    "config_hash()/appear in to_dict(), and every SweepJob axis must "
+    "reach SweepJob.cache_key (cache-aliasing hazard otherwise)"))
+def check(project):
+    yield from _check_sweepjob(project)
+    yield from _check_config(project)
+
+
+# ----------------------------------------------------------------------
+
+def _check_sweepjob(project):
+    ctx = project.module(_JOBS_PATH)
+    if ctx is None:
+        yield project.finding(_JOBS_PATH, 0,
+                              "sweep job module not found; cannot verify "
+                              "cache-key coverage", symbol="missing-jobs")
+        return
+    cls = find_class(ctx.tree, "SweepJob")
+    if cls is None:
+        yield ctx.finding(0, "class SweepJob not found in jobs module",
+                          symbol="missing-SweepJob")
+        return
+    method = find_method(cls, "cache_key")
+    if method is None:
+        yield ctx.finding(cls.lineno, "SweepJob has no cache_key method",
+                          symbol="missing-cache_key")
+        return
+    referenced = self_attribute_loads(method)
+    for name, lineno in dataclass_field_names(cls):
+        if name in EXEMPT_SWEEPJOB_FIELDS or name in referenced:
+            continue
+        yield ctx.finding(
+            lineno,
+            f"SweepJob field {name!r} never reaches cache_key — two jobs "
+            f"differing only in {name!r} would alias one cache entry; "
+            f"add it to the key payload (or document the exemption in "
+            f"the cache-key rule)",
+            symbol=f"SweepJob.{name}")
+
+
+# ----------------------------------------------------------------------
+
+def _perturbed(value):
+    """A same-JSON-type value guaranteed to differ from ``value``."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value + 0.5
+    if isinstance(value, str):
+        return value + "·lint"
+    if isinstance(value, dict):
+        return {**value, "·lint": 1}
+    if isinstance(value, (list, tuple)):
+        return type(value)([*value, 1])
+    if value is None:
+        return 1
+    return str(value) + "·lint"
+
+
+def _clone_with(config_cls, fields, base, override_name=None):
+    """An instance with one field perturbed, ``__post_init__`` bypassed.
+
+    Bypassing validation is the point: it lets structurally-entangled
+    fields (e.g. channel counts constrained to powers of the radix)
+    vary one at a time, which is exactly the aliasing question the
+    cache key must answer.
+    """
+    clone = object.__new__(config_cls)
+    for f in fields:
+        value = getattr(base, f.name)
+        if f.name == override_name:
+            value = _perturbed(value)
+        object.__setattr__(clone, f.name, value)
+    return clone
+
+
+def _check_config(project):
+    import dataclasses
+
+    ctx = project.module(_CONFIG_PATH)
+    hash_line = 0
+    if ctx is not None:
+        cls_node = find_class(ctx.tree, "AcceleratorConfig")
+        method = find_method(cls_node, "config_hash") if cls_node else None
+        hash_line = method.lineno if method is not None else 0
+
+    try:
+        from repro.accel.config import AcceleratorConfig
+        base = AcceleratorConfig()
+        fields = dataclasses.fields(AcceleratorConfig)
+        base_dict = base.to_dict()
+        base_hash = base.config_hash()
+    except Exception as exc:
+        # a semantic rule must degrade to a finding, not a crash
+        yield project.finding(
+            _CONFIG_PATH, 0,
+            f"cannot execute AcceleratorConfig coverage check: {exc!r}",
+            symbol="config-import")
+        return
+
+    for f in fields:
+        if f.name not in base_dict:
+            yield project.finding(
+                _CONFIG_PATH, hash_line,
+                f"AcceleratorConfig.to_dict() omits field {f.name!r} — "
+                f"cached stats would not round-trip it",
+                symbol=f"to_dict.{f.name}")
+            continue
+        variant = _clone_with(AcceleratorConfig, fields, base, f.name)
+        if variant.config_hash() == base_hash:
+            yield project.finding(
+                _CONFIG_PATH, hash_line,
+                f"AcceleratorConfig.config_hash() is blind to field "
+                f"{f.name!r} — two configs differing only in {f.name!r} "
+                f"alias the same cache entries",
+                symbol=f"config_hash.{f.name}")

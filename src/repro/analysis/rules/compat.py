@@ -1,0 +1,130 @@
+"""Back-compat surface of the ``accel/engine`` package split.
+
+PR 5 replaced the 1,825-line ``accel/engine.py`` monolith with a
+package and promised ``from repro.accel.engine import ...`` keeps
+working for every name the monolith bound.  Two rules hold it to that:
+
+* ``engine-compat`` — the package ``__init__`` must re-export the
+  frozen manifest of monolith names below (public API plus the
+  underscore names the test-suite and perf tooling import), and every
+  ``__all__`` entry must actually be bound.
+* ``engine-seam`` — the per-subnetwork window/replay machinery keys on
+  a structural seam: every subnetwork class (identified by its
+  ``kind`` class attribute) must implement ``arb_key`` /
+  ``restore_arb`` / ``counter_sites``, plus ``tick`` for the
+  frontend/edge stages and ``reduce_sites`` for the propagation
+  adapters.  A third engine's subnetworks get checked the moment their
+  module carries ``kind``-tagged classes.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutils import (
+    class_attr_names,
+    class_methods,
+    module_bound_names,
+)
+from repro.analysis.registry import rule
+
+_INIT_PATH = "src/repro/accel/engine/__init__.py"
+
+#: Every top-level name the pre-split ``accel/engine.py`` monolith bound
+#: that external code imported (frozen from commit 14fb013: the public
+#: surface plus the underscore names tests and the perf probe reach
+#: for).  Names may move between submodules freely; they must stay
+#: importable from the package root forever.
+MONOLITH_EXPORTS = (
+    "ENGINES",
+    "DEFAULT_ENGINE",
+    "ENGINE_ENV_VAR",
+    "FFWD_TELEMETRY",
+    "reset_ffwd_telemetry",
+    "resolve_engine",
+    "engine_cache_token",
+    "make_engine",
+    "ReferenceEngine",
+    "BatchedEngine",
+    "_EQUIVALENCE_CLASS",
+    "_FastMdpNet",
+    "_FastRangeNet",
+    "_FastXbar",
+)
+
+#: subnetwork module -> methods its ``kind``-tagged classes must have.
+SEAM = {
+    "src/repro/accel/engine/frontends.py":
+        ("tick", "arb_key", "restore_arb", "counter_sites"),
+    "src/repro/accel/engine/edgestage.py":
+        ("tick", "arb_key", "restore_arb", "counter_sites"),
+    "src/repro/accel/engine/propagation.py":
+        ("arb_key", "restore_arb", "counter_sites", "reduce_sites"),
+}
+
+
+@rule("engine-compat", scope="project", description=(
+    "the accel/engine package __init__ must re-export every name the "
+    "pre-split monolith bound (frozen manifest), and every __all__ "
+    "entry must be bound"))
+def check_exports(project):
+    ctx = project.module(_INIT_PATH)
+    if ctx is None:
+        yield project.finding(_INIT_PATH, 0,
+                              "engine package __init__ not found",
+                              symbol="missing-init")
+        return
+    bound = module_bound_names(ctx.tree)
+    for name in MONOLITH_EXPORTS:
+        if name not in bound:
+            yield ctx.finding(
+                0, f"pre-split monolith name {name!r} is no longer "
+                   f"importable from repro.accel.engine — re-export it "
+                   f"(back-compat promise of the PR 5 package split)",
+                symbol=f"export.{name}")
+    for lineno, entry in _all_entries(ctx.tree):
+        if entry not in bound:
+            yield ctx.finding(
+                lineno, f"__all__ names {entry!r} but the module never "
+                        f"binds it (star-imports would fail)",
+                symbol=f"all.{entry}")
+
+
+def _all_entries(tree: ast.Module):
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) \
+                and any(isinstance(t, ast.Name) and t.id == "__all__"
+                        for t in stmt.targets) \
+                and isinstance(stmt.value, (ast.List, ast.Tuple)):
+            for element in stmt.value.elts:
+                if isinstance(element, ast.Constant) \
+                        and isinstance(element.value, str):
+                    yield element.lineno, element.value
+
+
+@rule("engine-seam", scope="project", description=(
+    "every engine subnetwork class (kind-tagged) must implement the "
+    "phase-window seam: arb_key/restore_arb/counter_sites plus "
+    "tick (front/edge) or reduce_sites (propagation)"))
+def check_seam(project):
+    for relpath, required in SEAM.items():
+        ctx = project.module(relpath)
+        if ctx is None:
+            yield project.finding(relpath, 0,
+                                  "engine subnetwork module not found",
+                                  symbol=f"missing.{relpath}")
+            continue
+        for stmt in ctx.tree.body:
+            if not isinstance(stmt, ast.ClassDef):
+                continue
+            if "kind" not in class_attr_names(stmt):
+                continue
+            methods = class_methods(stmt)
+            for method in required:
+                if method not in methods:
+                    yield ctx.finding(
+                        stmt.lineno,
+                        f"subnetwork class {stmt.name!r} lacks seam "
+                        f"method {method}() — whole-phase windows "
+                        f"cannot key, restore or replay it",
+                        symbol=f"{stmt.name}.{method}")

@@ -1,0 +1,146 @@
+"""Refolded repo guards: one analysis entry point for CI.
+
+These three checks predate the rule framework as standalone scripts
+(``check_no_bytecode.py``, ``check_cli_docs.py``,
+``check_bench_history.py``).  The logic now lives here (and in
+:mod:`repro.analysis.history`); the scripts remain as thin shims for
+direct/parameterized invocation, and ``repro lint`` runs everything.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+from pathlib import Path
+
+from repro.analysis.registry import rule
+
+# ----------------------------------------------------------------------
+# no-bytecode — tracked __pycache__/.pyc artifacts (commit 14fb013 bug)
+# ----------------------------------------------------------------------
+
+def bytecode_paths(paths: list[str]) -> list[str]:
+    """The subset of ``paths`` that is compiled-bytecode artifacts."""
+    return [p for p in paths
+            if p.endswith((".pyc", ".pyo")) or "__pycache__" in p.split("/")]
+
+
+def tracked_files(root: str | Path) -> list[str] | None:
+    """``git ls-files`` of ``root`` (None when git is unusable here)."""
+    try:
+        out = subprocess.run(["git", "ls-files"], cwd=str(root), check=True,
+                             capture_output=True, text=True)
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return out.stdout.splitlines()
+
+
+@rule("no-bytecode", scope="project", description=(
+    "no compiled Python bytecode (__pycache__/.pyc/.pyo) tracked by "
+    "git — build artifacts go stale the moment the source changes"))
+def check_no_bytecode(project):
+    paths = tracked_files(project.root)
+    if paths is None:
+        # not a git checkout (e.g. a source tarball): nothing to check
+        return
+    for path in bytecode_paths(paths):
+        yield project.finding(
+            path, 0,
+            "compiled bytecode is tracked by git; run "
+            "`git rm --cached` on it (it is .gitignore'd)",
+            symbol="tracked-bytecode")
+
+
+# ----------------------------------------------------------------------
+# cli-docs — docs/cli.md vs the real parser, both directions
+# ----------------------------------------------------------------------
+
+_DOCS_PATH = "docs/cli.md"
+_SUBCOMMAND_RE = re.compile(r"`(?:python -m )?repro ([a-z][a-z0-9-]*)")
+
+
+def documented_subcommands(text: str) -> set[str]:
+    """Subcommand names docs/cli.md mentions as ``repro <word>``."""
+    return set(_SUBCOMMAND_RE.findall(text))
+
+
+def actual_subcommands() -> set[str]:
+    """Subcommand names the real parser defines (and sanity-checks
+    that ``--help`` mentions each one)."""
+    from repro.cli import build_parser
+    parser = build_parser()
+    help_text = parser.format_help()
+    names: set[str] = set()
+    for action in parser._subparsers._group_actions:      # argparse internals,
+        names.update(action.choices)                      # stable since 2.7
+    missing_from_help = {n for n in names if n not in help_text}
+    if missing_from_help:
+        raise AssertionError(
+            f"parser defines {sorted(missing_from_help)} but --help "
+            "does not mention them")
+    return names
+
+
+@rule("cli-docs", scope="project", description=(
+    "docs/cli.md and the real CLI must agree: every documented "
+    "subcommand exists, every subcommand is documented"))
+def check_cli_docs(project):
+    doc_path = project.root / _DOCS_PATH
+    try:
+        documented = documented_subcommands(
+            doc_path.read_text(encoding="utf-8"))
+    except OSError:
+        yield project.finding(_DOCS_PATH, 0, "docs/cli.md is missing",
+                              symbol="missing-docs")
+        return
+    actual = actual_subcommands()
+    for name in sorted(documented - actual):
+        yield project.finding(
+            _DOCS_PATH, 0,
+            f"docs/cli.md documents `repro {name}` but the CLI has no "
+            f"such subcommand",
+            symbol=f"doc-only.{name}")
+    for name in sorted(actual - documented):
+        yield project.finding(
+            _DOCS_PATH, 0,
+            f"subcommand `repro {name}` is not documented in docs/cli.md",
+            symbol=f"undocumented.{name}")
+
+
+# ----------------------------------------------------------------------
+# bench-history — the committed BENCH trajectory file
+# ----------------------------------------------------------------------
+
+_HISTORY_PATH = "benchmarks/results/bench_history.jsonl"
+
+
+@rule("bench-history", scope="project", description=(
+    "the committed BENCH history must parse, satisfy the record "
+    "schema, and contain no stats_identical=false record; trajectory "
+    "regressions are advisory warnings"))
+def check_bench_history(project):
+    from repro.analysis import history
+
+    path = project.root / _HISTORY_PATH
+    if not path.exists():
+        return
+    try:
+        records = history.load_history(str(path))
+    except SystemExit as exc:
+        yield project.finding(_HISTORY_PATH, 0, str(exc),
+                              symbol="unparseable")
+        return
+    fatal, warnings = history.check_history(records)
+    for message in fatal:
+        yield project.finding(_HISTORY_PATH, _lineno(message), message,
+                              symbol=f"fatal.{_lineno(message)}")
+    for message in warnings:
+        # advisory by design: shared CI runners are too noisy for a
+        # hard perf floor (docs/performance.md)
+        yield project.finding(_HISTORY_PATH, 0, message,
+                              symbol="trajectory", severity="warning")
+
+
+def _lineno(message: str) -> int:
+    match = re.match(r"line (\d+):", message)
+    return int(match.group(1)) if match else 0

@@ -151,6 +151,26 @@ def build_parser() -> argparse.ArgumentParser:
     freq.add_argument("--crossbar-ports", type=int, default=None)
     freq.add_argument("--mdp-channels", type=int, default=None)
     freq.add_argument("--radix", type=int, default=2)
+
+    lnt = sub.add_parser(
+        "lint", help="run the contract & determinism analyzer")
+    lnt.add_argument("--root", default=".",
+                     help="repository root to analyze (default: cwd)")
+    lnt.add_argument("--rule", action="append", default=None, metavar="ID",
+                     help="run only this rule (repeatable; default: all)")
+    lnt.add_argument("--list-rules", action="store_true",
+                     help="print the rule catalog and exit")
+    lnt.add_argument("--baseline", default=None, metavar="PATH",
+                     help="baseline file (default: <root>/lint-baseline.json)")
+    lnt.add_argument("--update-baseline", action="store_true",
+                     help="rewrite the baseline to cover current findings "
+                          "(new entries get a TODO justification)")
+    lnt.add_argument("--format", choices=["text", "json"], default="text")
+    lnt.add_argument("--strict", action="store_true",
+                     help="also fail on warnings, stale baseline entries "
+                          "and TODO justifications")
+    lnt.add_argument("-v", "--verbose", action="store_true",
+                     help="also print baselined findings")
     return parser
 
 
@@ -165,6 +185,7 @@ def main(argv: list[str] | None = None) -> int:
         "datasets": _cmd_datasets,
         "figure": _cmd_figure,
         "frequency": _cmd_frequency,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 
@@ -540,6 +561,28 @@ def _cmd_frequency(args) -> int:
     print(f"design frequency (capped at 1 GHz target): "
           f"{design_frequency_ghz(crossbar_ports=args.crossbar_ports, mdp_channels=args.mdp_channels, mdp_radix=args.radix):.3f} GHz")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import all_rules, format_text, lint
+    from repro.analysis.runner import format_json
+
+    if args.list_rules:
+        for rule in sorted(all_rules().values(), key=lambda r: r.id):
+            print(f"{rule.id:22s} {rule.severity:8s} {rule.description}")
+        return 0
+    try:
+        report = lint(args.root, rule_ids=args.rule,
+                      baseline_path=args.baseline,
+                      update_baseline=args.update_baseline)
+    except ReproError as exc:
+        print(f"lint failed: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(format_json(report))
+    else:
+        print(format_text(report, verbose=args.verbose))
+    return report.exit_code(strict=args.strict)
 
 
 if __name__ == "__main__":   # pragma: no cover

@@ -40,5 +40,14 @@ class FifoOverflowError(SimulationError, OverflowError):
     """
 
 
+class StatsSchemaError(ReproError, ValueError):
+    """A serialized :class:`SimStats` payload does not match the schema.
+
+    Subclasses :class:`ValueError` so callers that predate the
+    :class:`ReproError` taxonomy (e.g. cache loaders catching
+    ``ValueError``) keep working unchanged.
+    """
+
+
 class SweepError(ReproError):
     """A sweep plan or execution request is malformed (unknown axis, bad job count...)."""

@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 
 
 class RoundRobinArbiter:
@@ -44,7 +44,9 @@ class RoundRobinArbiter:
                 self.grants += 1
                 self.conflicts += len(want) - 1
                 return idx
-        raise AssertionError("unreachable")
+        raise SimulationError(
+            "round-robin scan found no requester despite a non-empty "
+            "want set — arbiter state is inconsistent")
 
 
 class OddEvenArbiter:

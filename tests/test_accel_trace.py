@@ -67,5 +67,7 @@ class TestTracer:
         assert tracer.trace.summary(32) == {"samples": 0}
 
     def test_bad_interval_rejected(self):
-        with pytest.raises(ValueError):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
             PipelineTracer(interval=0)

@@ -1,0 +1,126 @@
+"""Baseline round-trip: add -> suppress -> justify -> fix -> stale."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, lint
+from repro.analysis.baseline import BASELINE_NAME, TODO_JUSTIFICATION
+from repro.errors import ConfigError
+
+
+def write_module(root: Path, source: str) -> Path:
+    path = root / "src/repro/accel/mod.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+class TestRoundTrip:
+    def test_add_suppress_justify_fix(self, tmp_path):
+        write_module(tmp_path, "CACHE = {}\n")
+
+        # 1. a fresh finding fails the run
+        report = lint(tmp_path, rule_ids=["module-state"])
+        assert report.exit_code() == 1
+        assert [f.symbol for f in report.findings] == ["CACHE"]
+
+        # 2. --update-baseline grandfathers it (with a TODO placeholder)
+        report = lint(tmp_path, rule_ids=["module-state"],
+                      update_baseline=True)
+        assert report.exit_code() == 0
+        assert report.findings == []
+        assert [e.symbol for _, e in report.baselined] == ["CACHE"]
+        assert [e.symbol for e in report.unjustified] == ["CACHE"]
+        assert report.exit_code(strict=True) == 1    # TODO not a justification
+
+        # 3. writing a real justification clears strict mode
+        baseline_path = tmp_path / BASELINE_NAME
+        payload = json.loads(baseline_path.read_text())
+        assert payload["entries"][0]["justification"] == TODO_JUSTIFICATION
+        payload["entries"][0]["justification"] = "known-safe: reset per run"
+        baseline_path.write_text(json.dumps(payload))
+        report = lint(tmp_path, rule_ids=["module-state"])
+        assert report.exit_code(strict=True) == 0
+        assert report.unjustified == []
+
+        # 4. fixing the code makes the entry stale
+        write_module(tmp_path, "CACHE = ()\n")
+        report = lint(tmp_path, rule_ids=["module-state"])
+        assert report.findings == []
+        assert [e.symbol for e in report.stale_baseline] == ["CACHE"]
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+        # 5. --update-baseline shrinks the file back to empty
+        lint(tmp_path, rule_ids=["module-state"], update_baseline=True)
+        assert json.loads(baseline_path.read_text())["entries"] == []
+
+    def test_line_shifts_do_not_unsuppress(self, tmp_path):
+        write_module(tmp_path, "CACHE = {}\n")
+        lint(tmp_path, rule_ids=["module-state"], update_baseline=True)
+
+        # same symbol, very different line number
+        write_module(tmp_path, "# a\n# b\n# c\n\nX = 1\nCACHE = {}\n")
+        report = lint(tmp_path, rule_ids=["module-state"])
+        assert report.findings == []
+        assert [e.symbol for _, e in report.baselined] == ["CACHE"]
+
+    def test_update_preserves_existing_justifications(self, tmp_path):
+        write_module(tmp_path, "CACHE = {}\nSINKS = []\n")
+        baseline = Baseline([BaselineEntry(
+            rule="module-state", path="src/repro/accel/mod.py",
+            symbol="CACHE", justification="documented discipline")])
+        baseline.save(tmp_path / BASELINE_NAME)
+
+        lint(tmp_path, rule_ids=["module-state"], update_baseline=True)
+        reloaded = Baseline.load(tmp_path / BASELINE_NAME)
+        by_symbol = {e.symbol: e.justification for e in reloaded.entries}
+        assert by_symbol["CACHE"] == "documented discipline"
+        assert by_symbol["SINKS"] == TODO_JUSTIFICATION
+
+    def test_partial_update_keeps_other_rules_entries(self, tmp_path):
+        write_module(tmp_path, "CACHE = {}\n")
+        Baseline([BaselineEntry(rule="cache-key", path="p",
+                                symbol="s", justification="j")]) \
+            .save(tmp_path / BASELINE_NAME)
+        lint(tmp_path, rule_ids=["module-state"], update_baseline=True)
+        reloaded = Baseline.load(tmp_path / BASELINE_NAME)
+        assert sorted(e.rule for e in reloaded.entries) == [
+            "cache-key", "module-state"]
+
+    def test_partial_rule_run_reports_no_stale(self, tmp_path):
+        # a --rule run legitimately leaves other rules' entries unmatched
+        write_module(tmp_path, "X = 1\n")
+        Baseline([BaselineEntry(rule="cache-key", path="p",
+                                symbol="s", justification="j")]) \
+            .save(tmp_path / BASELINE_NAME)
+        report = lint(tmp_path, rule_ids=["module-state"])
+        assert report.stale_baseline == []
+
+
+class TestFileFormat:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "none.json").entries == []
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / BASELINE_NAME
+        path.write_text("{oops")
+        with pytest.raises(ConfigError):
+            Baseline.load(path)
+
+    def test_missing_entries_key_rejected(self, tmp_path):
+        path = tmp_path / BASELINE_NAME
+        path.write_text("{}")
+        with pytest.raises(ConfigError):
+            Baseline.load(path)
+
+    def test_save_is_deterministic(self, tmp_path):
+        entries = [BaselineEntry("r2", "b", "s", "j"),
+                   BaselineEntry("r1", "a", "s", "j")]
+        p1, p2 = tmp_path / "one.json", tmp_path / "two.json"
+        Baseline(entries).save(p1)
+        Baseline(list(reversed(entries))).save(p2)
+        assert p1.read_text() == p2.read_text()
