@@ -6,6 +6,10 @@
 #   ci.sh lint       `repro lint` contract & determinism analyzer
 #                    (cache keys, module state, telemetry reset, repo guards)
 #   ci.sh tests      tier-1 pytest (includes the engine differential suite)
+#   ci.sh coverage   engine-package line coverage with a committed floor
+#                    (stdlib tracer — the container has no pytest-cov)
+#   ci.sh fuzz       seeded differential fuzz smoke (all engines,
+#                    REPRO_FUZZ_CASES cases beyond the tier-1 default)
 #   ci.sh docs       docs/cli.md vs `repro --help` consistency check
 #   ci.sh sweep      cold+warm smoke sweep (executor + result cache)
 #   ci.sh report     cold/warm report regeneration (zero sims, same bytes)
@@ -31,7 +35,7 @@ trap cleanup EXIT
 ci_mktemp_d() { local d; d="$(mktemp -d)"; CI_TMP_DIRS+=("$d"); echo "$d"; }
 
 stage_lint() {
-    echo "== repro lint (contract & determinism analyzer, 12 rules) =="
+    echo "== repro lint (contract & determinism analyzer, 13 rules) =="
     # hard gate: any non-baselined finding fails the build
     python -m repro lint
 }
@@ -39,6 +43,16 @@ stage_lint() {
 stage_tests() {
     echo "== tier-1 tests (includes tests/test_engine_differential.py) =="
     python -m pytest -x -q
+}
+
+stage_coverage() {
+    echo "== engine-package coverage (stdlib tracer, committed floor) =="
+    python scripts/engine_coverage.py
+}
+
+stage_fuzz() {
+    echo "== seeded differential fuzz smoke (all engines, 32 cases) =="
+    REPRO_FUZZ_CASES=32 python -m pytest -q tests/test_engine_fuzz.py
 }
 
 stage_docs() {
@@ -101,7 +115,7 @@ stage_perf() {
 }
 
 usage() {
-    sed -n '2,14p' "$0"
+    sed -n '2,19p' "$0"
     exit 2
 }
 
@@ -111,13 +125,16 @@ if [ ${#stages[@]} -eq 0 ]; then
 fi
 for stage in "${stages[@]}"; do
     case "$stage" in
-        lint)   stage_lint ;;
-        tests)  stage_tests ;;
-        docs)   stage_docs ;;
-        sweep)  stage_sweep ;;
-        report) stage_report ;;
-        perf)   stage_perf ;;
-        all)    stage_lint; stage_tests; stage_docs; stage_sweep; stage_report; stage_perf ;;
+        lint)     stage_lint ;;
+        tests)    stage_tests ;;
+        coverage) stage_coverage ;;
+        fuzz)     stage_fuzz ;;
+        docs)     stage_docs ;;
+        sweep)    stage_sweep ;;
+        report)   stage_report ;;
+        perf)     stage_perf ;;
+        all)      stage_lint; stage_tests; stage_coverage; stage_fuzz;
+                  stage_docs; stage_sweep; stage_report; stage_perf ;;
         -h|--help) usage ;;
         *) echo "ci.sh: unknown stage '$stage'" >&2; usage ;;
     esac

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Cold-sweep engine benchmark: reference vs batched, one BENCH record.
+"""Cold-sweep engine benchmark: reference vs batched vs soa, one BENCH record.
 
 Times the Fig. 8 evaluation matrix (algorithms x datasets x the three
 Table 1 designs) **cold** — no result cache, every job simulated — once
@@ -12,12 +12,14 @@ speedup over time (see docs/performance.md for how to read it, and
 Methodology
 -----------
 * graphs are resolved once up front (the worker memo a sweep would use),
-  so generation time never pollutes either engine's number;
-* jobs run serially, in-process, **paired** — reference then batched per
-  job, adjacent in time — so slow drift in machine load biases both
-  engines equally; per-job pairs also yield a drift-robust median;
-* every pair's ``SimStats`` are compared: the probe doubles as a
-  differential check and records ``stats_identical`` in the BENCH line;
+  so generation time never pollutes any engine's number;
+* jobs run serially, in-process, **paired** — reference, then batched,
+  then soa per job, adjacent in time — so slow drift in machine load
+  biases all engines equally; per-job pairs also yield a drift-robust
+  median;
+* every job's ``SimStats`` are compared across all engines: the probe
+  doubles as a differential check and records ``stats_identical`` in
+  the BENCH line;
 * the batched engine's event-driven fast-forward telemetry (whole-phase
   windows replayed — partial ones via the shadow-frontend path — cycles
   fast-forwarded vs simulated, value-plane events) is summed per job
@@ -47,7 +49,13 @@ DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..", "benchmarks",
                            "results", "bench_history.jsonl")
 
 #: Engines timed per job, in run order (reference first, adjacent).
+#: ``reference``/``batched`` are the record's mandatory pair (the
+#: historical schema); any further engine contributes optional
+#: ``<engine>_seconds`` / ``speedup_<engine>`` fields.
 ENGINE_PAIR = ("reference", "batched")
+
+#: All engines each job is timed on.
+ENGINES_TIMED = ("reference", "batched", "soa")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,22 +88,31 @@ def pair_result(describe: str, seconds: dict, stats: dict) -> dict:
     """Summarize one job's paired engine runs.
 
     ``seconds`` and ``stats`` are keyed by engine name; the SimStats
-    dicts are compared here so the probe doubles as a differential
-    check per job.
+    dicts are compared here (every engine against reference) so the
+    probe doubles as a differential check per job.  Engines beyond the
+    mandatory reference/batched pair add ``<engine>_seconds`` and
+    ``speedup_<engine>`` keys.
     """
     ref, bat = (seconds[e] for e in ENGINE_PAIR)
-    return {
+    result = {
         "job": describe,
         "reference_seconds": ref,
         "batched_seconds": bat,
         "speedup": ref / bat,
-        "stats_identical": stats[ENGINE_PAIR[0]] == stats[ENGINE_PAIR[1]],
+        "stats_identical": all(stats[e] == stats["reference"]
+                               for e in stats),
     }
+    for engine in seconds:
+        if engine in ENGINE_PAIR:
+            continue
+        result[f"{engine}_seconds"] = seconds[engine]
+        result[f"speedup_{engine}"] = ref / seconds[engine]
+    return result
 
 
-def median_job_speedup(pairs: list[dict]) -> float:
+def median_job_speedup(pairs: list[dict], key: str = "speedup") -> float:
     """Median per-job speedup — robust to one outlier cell and drift."""
-    ratios = sorted(p["speedup"] for p in pairs)
+    ratios = sorted(p[key] for p in pairs)
     if not ratios:
         raise ValueError("no job pairs to summarize")
     return ratios[len(ratios) // 2]
@@ -129,6 +146,12 @@ def build_record(pairs: list[dict], *, datasets: list[str],
                    else platform.python_version()),
         "machine": machine if machine is not None else platform.machine(),
     }
+    if all("soa_seconds" in p for p in pairs):
+        soa_total = sum(p["soa_seconds"] for p in pairs)
+        record["soa_seconds"] = round(soa_total, 3)
+        record["speedup_soa"] = round(ref_total / soa_total, 3)
+        record["median_job_speedup_soa"] = round(
+            median_job_speedup(pairs, key="speedup_soa"), 3)
     if ffwd is not None:
         record["ffwd"] = dict(ffwd)
     return record
@@ -190,23 +213,27 @@ def main(argv=None) -> int:
     for job in jobs:
         seconds = {}
         stats = {}
-        for engine in ENGINE_PAIR:                   # paired, adjacent
+        for engine in ENGINES_TIMED:                 # paired, adjacent
             job.engine = engine
             t0 = time.perf_counter()
             stats[engine] = execute_job(job).to_dict()
             seconds[engine] = time.perf_counter() - t0
-        # the batched engine zeroes the process-wide telemetry at the
-        # start of its run, so after the pair it holds exactly this
-        # job's numbers — accumulate per job for the record
-        for key in ffwd:
-            ffwd[key] += FFWD_TELEMETRY[key]
+            # each engine zeroes the process-wide telemetry at the
+            # start of its run, so right after the batched run the
+            # dict holds exactly this job's batched numbers —
+            # accumulate per job for the record
+            if engine == "batched":
+                for key in ffwd:
+                    ffwd[key] += FFWD_TELEMETRY[key]
         pair = pair_result(job.describe(), seconds, stats)
         pairs.append(pair)
         if not pair["stats_identical"]:
             print(f"WARNING: SimStats diverge on {pair['job']}",
                   file=sys.stderr)
         print(f"  {pair['job']:28s} ref={pair['reference_seconds']:7.3f}s "
-              f"bat={pair['batched_seconds']:7.3f}s  {pair['speedup']:5.2f}x")
+              f"bat={pair['batched_seconds']:7.3f}s "
+              f"soa={pair['soa_seconds']:7.3f}s  "
+              f"{pair['speedup']:5.2f}x/{pair['speedup_soa']:5.2f}x")
 
     record = build_record(
         pairs,

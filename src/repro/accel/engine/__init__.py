@@ -17,6 +17,13 @@ loop, so it exists in two interchangeable implementations:
   of contention-free drains, and whole-phase structural windows with
   per-subnetwork keys (partially-repeating and sliced phases replay
   too).  ``docs/performance.md`` documents every invariant.
+* ``soa`` — the batched engine with its cycle marcher swapped for a
+  compiled structure-of-arrays kernel (``_soa_march.c``): FIFO banks as
+  preallocated int64/float64 rings with head/occupancy vectors, routing
+  as flat ``table[stage][pos][dest]`` tensors, one C call per scatter
+  phase.  Recording phases and undeclared value-plane kernels fall back
+  to the inherited batched march; no compiler means the whole engine
+  degrades to batched semantics (still byte-identical).
 
 The package mirrors the decomposition the paper argues for in
 hardware — no central blob, one module per concern:
@@ -33,6 +40,9 @@ hardware — no central blob, one module per concern:
                    driver for partially-repeating phases
 ``edgestage.py``   site-② edge-access stages
 ``propagation.py`` site-③ propagation adapters over the fast networks
+``soa.py``         the soa engine: SoA state marshalling + the C seam
+``soakernel.py``   compile/cache/load of ``_soa_march.c`` (kill-switch
+                   ``$REPRO_SOA_KERNEL=off``)
 ``windows.py``     whole-phase structural windows: phase programs, the
                    per-subnetwork-keyed memo, recording shims
 =================  ====================================================
@@ -76,6 +86,7 @@ from repro.accel.engine.registry import (
     reset_ffwd_telemetry,
     resolve_engine,
 )
+from repro.accel.engine.soa import SoaEngine
 from repro.accel.engine.windows import PhaseMemo, PhaseProgram, PhaseRecorder
 
 __all__ = [
@@ -89,6 +100,7 @@ __all__ = [
     "make_engine",
     "ReferenceEngine",
     "BatchedEngine",
+    "SoaEngine",
     "PhaseMemo",
     "PhaseProgram",
     "PhaseRecorder",

@@ -1,0 +1,1236 @@
+/* SoA scatter-march kernel for the `soa` engine.
+ *
+ * One call simulates one whole scatter phase of the batched engine's
+ * cycle loop (propagation deliver -> ePE offers -> edge tick ->
+ * frontend tick) over structure-of-arrays state: every FIFO bank is a
+ * preallocated int64/double ring with head/length vectors, routing is
+ * the precomputed table[stage][pos][dest] tensor, and arbiter state
+ * (odd-even parity, rotating-scan starts, round-robin pointers, stall
+ * memos) lives in flat int arrays.  The Python side (soa.py) owns the
+ * numpy arrays; this kernel only views them through `SoaState`.
+ *
+ * The kernel must be BYTE-IDENTICAL to repro/accel/engine/batched.py:
+ * every loop below mirrors one loop of the batched subnetworks
+ * (fastnets.py / frontends.py / edgestage.py / propagation.py), in the
+ * same scan order, with the same stall/combining/arbitration decisions
+ * and the same float operation order (C doubles and CPython floats are
+ * both IEEE-754 binary64, and the closed-form reduce kernels below tie
+ * exactly like the Python builtins).  This kernel ticks every cycle;
+ * the batched bulk drain/skip fast-forwards are proven equivalent to
+ * per-cycle ticking (docs/performance.md), so the two marches agree.
+ * The differential suite and tests/test_engine_fuzz.py hold it to that.
+ *
+ * Recording phases never enter this kernel (slot-id immediates and the
+ * logging reduce shim are Python-side); the engine falls back to the
+ * inherited batched march for them, syncing arbiter state + counters
+ * at the phase boundary (all queues are provably empty there).
+ *
+ * Plain C99 + libc only; compiled at first use via cc -O2 -shared
+ * (see soakernel.py).  No -ffast-math: IEEE semantics are the point.
+ */
+
+#include <string.h>
+
+typedef long long i64;
+typedef double f64;
+
+#define SOA_ABI_VERSION 1
+#define SOA_MAGIC 0x534F4131LL
+
+/* reduce_op codes */
+#define RED_ADD 0
+#define RED_MIN 1
+#define RED_MAX 2
+
+/* proc codes: 0 identity, 2 payload+w, 3 min(payload,w), 5 payload+const
+ * (5 is the weight-independent proc==1 with a declared closed form) */
+#define PROC_IDENTITY 0
+#define PROC_ADD_W 2
+#define PROC_MIN_W 3
+#define PROC_ADD_CONST 5
+
+/* counter slots (ctr array), mapped to Python counter sites in soa.py */
+#define C_DEFERRALS 0
+#define C_FRONT_STALL 1     /* mdp front net stall_events | xbar conflicts */
+#define C_FRONT_REJ 2       /* mdp front net rejected_offers */
+#define C_EDGE_BLOCKED 3    /* disp_blocked | window_conflicts */
+#define C_RNET_STALL 4
+#define C_RNET_REJ 5
+#define C_PROP_STALL 6      /* mdp prop net stall_events | xbar conflicts */
+#define C_PROP_REJ 7
+#define C_NUM 8
+
+/* Every field is 8 bytes (i64 / f64 / pointer), so the layout has no
+ * padding and the ctypes mirror in soa.py matches field-for-field; the
+ * magic fields at both ends and soa_abi_version() guard against skew. */
+typedef struct {
+    i64 magic;
+    /* -- config ----------------------------------------------------- */
+    i64 n, m, w;            /* front channels, back channels, dispatchers */
+    i64 fifo_depth, block_len;      /* MDP-net block line (fd - radix) */
+    i64 issue_depth, fe_depth, disp_depth, epe_depth, replay_depth;
+    i64 combining;
+    i64 reduce_op;
+    i64 proc;
+    f64 proc_const;
+    i64 front_is_mdp, edge_is_mdp, prop_is_mdp;
+    i64 ce_issue_limit, ce_capacity;
+    i64 has_rnet;
+    i64 rn_radix, rn_block_len, rn_ring;    /* range net (own radix) */
+    /* -- graph ------------------------------------------------------ */
+    const i64 *offsets;
+    const i64 *dst;
+    const i64 *weights;
+    /* -- frontend MDP net (Sf x n rings of fifo_depth) -------------- */
+    i64 fn_stages;
+    const i64 *fn_table;    /* [Sf][n][n] */
+    i64 *fn_qu;
+    f64 *fn_qs;
+    i64 *fn_head, *fn_len;  /* [Sf*n] */
+    i64 *fn_counts;         /* [Sf] */
+    /* -- frontend crossbar (n input rings) -------------------------- */
+    i64 *fx_qu;
+    f64 *fx_qs;
+    i64 *fx_head, *fx_len;  /* [n] */
+    i64 *fx_rr;             /* [n], persistent */
+    /* -- issue queues [n][issue_depth] ------------------------------ */
+    i64 *iq_u;
+    f64 *iq_s;
+    i64 *iq_head, *iq_len;
+    /* -- fe_out [n][fe_depth] --------------------------------------- */
+    i64 *fo_off, *fo_len;
+    f64 *fo_s;
+    i64 *fo_head, *fo_cnt;
+    /* -- ActiveVertex parts (flat, grouped by channel) -------------- */
+    const i64 *part_u;
+    const f64 *part_sp;
+    i64 *part_pos, *part_end;   /* [n]; part_pos advances */
+    /* -- MDP edge stage --------------------------------------------- */
+    i64 *rp_po, *rp_pl;         /* pending rings [n][replay_depth] */
+    f64 *rp_ps;
+    i64 *rp_head, *rp_cnt;
+    i64 *rp_cur_off, *rp_cur_rem;   /* lazy piece stream per channel */
+    f64 *rp_cur_pay;
+    const i64 *pos_of;          /* [n] */
+    const i64 *chan_at;         /* channel ids grouped by position */
+    const i64 *chan_at_start, *chan_at_cnt;     /* [w] */
+    i64 *busy_at;               /* [w] */
+    i64 *rp_rr;                 /* [w], persistent */
+    i64 rn_stages;
+    const i64 *rn_block;        /* [Sr] stage block widths */
+    const i64 *rn_ptbl;         /* [Sr][w][rn_radix] port tables */
+    i64 *rn_qo, *rn_ql;         /* rings [Sr*w] of rn_ring slots */
+    f64 *rn_qp;
+    i64 *rn_head, *rn_len;      /* [Sr*w] */
+    i64 *rn_counts;             /* [Sr] */
+    i64 *dq_off, *dq_len;       /* dispatcher rings [w][disp_depth] */
+    f64 *dq_pay;
+    i64 *dq_head, *dq_cnt;
+    i64 *disp_stall;            /* [w], persistent */
+    /* -- central edge stage ----------------------------------------- */
+    i64 *ce_off, *ce_len;       /* ring [ce_capacity] */
+    f64 *ce_pay;
+    i64 ce_stall_off, ce_stall_len, ce_stall_bank;  /* persistent; -1 none */
+    /* -- ePE queues [m][epe_depth] ---------------------------------- */
+    i64 *ep_v;
+    f64 *ep_imm;
+    i64 *ep_head, *ep_cnt;
+    /* -- propagation MDP net (Sp x m rings of fifo_depth) ----------- */
+    i64 pn_stages;
+    const i64 *pn_table;        /* [Sp][m][m] */
+    i64 *pn_qv, *pn_qc;
+    f64 *pn_qi;
+    i64 *pn_head, *pn_len;      /* [Sp*m] */
+    i64 *pn_counts;             /* [Sp] */
+    /* -- propagation crossbar (m input rings) ----------------------- */
+    i64 *px_qv, *px_qc;
+    f64 *px_qi;
+    i64 *px_head, *px_len;      /* [m] */
+    i64 *px_rr;                 /* [m], persistent */
+    /* -- scratch [max(n,m,w)] --------------------------------------- */
+    i64 *s_epoch, *s_val, *s_epoch2, *s_val2;
+    /* -- arbiter scalars (persistent; seeded + written back) -------- */
+    i64 parity, fstart;
+    /* -- per-phase run state ---------------------------------------- */
+    f64 *tprop;                 /* full num_vertices array */
+    i64 expected, fe_pending, limit;
+    /* -- outputs ----------------------------------------------------- */
+    i64 *ctr;                   /* [C_NUM], zeroed here */
+    i64 cycles, starved, busy, reduces;
+    i64 magic2;
+} SoaState;
+
+/* ------------------------------------------------------------------ */
+static inline f64 red(i64 op, f64 a, f64 b) {
+    /* ties resolve to the FIRST argument, exactly like Python's
+     * min()/max() builtins the batched engine binds as reduce_fn */
+    if (op == RED_ADD) return a + b;
+    if (op == RED_MIN) return (b < a) ? b : a;
+    return (b > a) ? b : a;
+}
+
+/* ring slot addressing: queue `q` in a bank of queues with depth D */
+#define RING(arr, q, D, i) (arr)[((q) * (D)) + (i)]
+
+/* transient per-phase occupancy totals (queues are empty at phase
+ * boundaries, so these reset to zero every soa_march call) */
+static i64 fe_total, iq_total, fn_count, fx_count, rn_count;
+static i64 disp_count, epe_count, rp_busy_total, ce_cnt, ce_head;
+static i64 pn_count, px_count;
+static i64 epoch_ctr;
+
+/* ================================================================== */
+/* Frontend: shared retire (issue head -> {Off, Len} in fe_out)       */
+/* ================================================================== */
+
+static inline i64 fe_retire(SoaState *st, i64 ch) {
+    i64 D = st->issue_depth;
+    i64 h = st->iq_head[ch];
+    i64 u = RING(st->iq_u, ch, D, h);
+    f64 sp = RING(st->iq_s, ch, D, h);
+    st->iq_head[ch] = (h + 1) % D;
+    st->iq_len[ch] -= 1;
+    iq_total -= 1;
+    i64 off = st->offsets[u];
+    i64 length = st->offsets[u + 1] - off;
+    if (length > 0) {
+        i64 FD = st->fe_depth;
+        i64 slot = (st->fo_head[ch] + st->fo_cnt[ch]) % FD;
+        RING(st->fo_off, ch, FD, slot) = off;
+        RING(st->fo_len, ch, FD, slot) = length;
+        RING(st->fo_s, ch, FD, slot) = sp;
+        st->fo_cnt[ch] += 1;
+        fe_total += 1;
+    }
+    return 1;
+}
+
+/* ================================================================== */
+/* Frontend MDP net (_FastMdpNet over (u % n, u, sprop); no combining)*/
+/* ================================================================== */
+
+static void fn_advance_checked(SoaState *st) {
+    /* always the checked variant: under the block line it never stalls,
+     * so it is move-for-move the no-backpressure fast path */
+    i64 n = st->n, D = st->fifo_depth, bl = st->block_len;
+    i64 stalled_total = 0;
+    for (i64 s = st->fn_stages - 1; s >= 1; s--) {
+        i64 total = st->fn_counts[s - 1];
+        if (!total) continue;
+        const i64 *tbl = st->fn_table + s * n * n;
+        i64 moved = 0, seen = 0, stalled = 0;
+        for (i64 p = 0; p < n; p++) {
+            i64 qi = (s - 1) * n + p;
+            if (!st->fn_len[qi]) continue;
+            seen++;
+            i64 h = st->fn_head[qi];
+            i64 u = RING(st->fn_qu, qi, D, h);
+            i64 ti = s * n + tbl[p * n + (u % n)];
+            if (st->fn_len[ti] > bl) {
+                stalled++;
+            } else {
+                i64 slot = (st->fn_head[ti] + st->fn_len[ti]) % D;
+                RING(st->fn_qu, ti, D, slot) = u;
+                RING(st->fn_qs, ti, D, slot) = RING(st->fn_qs, qi, D, h);
+                st->fn_len[ti] += 1;
+                st->fn_head[qi] = (h + 1) % D;
+                st->fn_len[qi] -= 1;
+                moved++;
+            }
+            if (seen == total) break;
+        }
+        st->fn_counts[s - 1] -= moved;
+        st->fn_counts[s] += moved;
+        stalled_total += stalled;
+    }
+    if (stalled_total) st->ctr[C_FRONT_STALL] += stalled_total;
+}
+
+static void fn_deliver_into_issue(SoaState *st) {
+    i64 n = st->n, D = st->fifo_depth, ID = st->issue_depth;
+    i64 last = st->fn_stages - 1;
+    i64 total = st->fn_counts[last];
+    i64 popped = 0, seen = 0;
+    for (i64 p = 0; p < n; p++) {
+        i64 qi = last * n + p;
+        if (st->fn_len[qi]) {
+            seen++;
+            if (st->iq_len[p] < ID) {
+                i64 h = st->fn_head[qi];
+                i64 slot = (st->iq_head[p] + st->iq_len[p]) % ID;
+                RING(st->iq_u, p, ID, slot) = RING(st->fn_qu, qi, D, h);
+                RING(st->iq_s, p, ID, slot) = RING(st->fn_qs, qi, D, h);
+                st->iq_len[p] += 1;
+                st->fn_head[qi] = (h + 1) % D;
+                st->fn_len[qi] -= 1;
+                popped++;
+            }
+            if (seen == total) break;
+        }
+    }
+    st->fn_counts[last] -= popped;
+    fn_count -= popped;
+    iq_total += popped;
+}
+
+static void fn_inject_parts(SoaState *st) {
+    i64 n = st->n, D = st->fifo_depth, bl = st->block_len;
+    const i64 *tbl0 = st->fn_table;     /* stage 0 */
+    i64 added = 0;
+    for (i64 p = 0; p < n; p++) {
+        i64 pos = st->part_pos[p];
+        if (pos >= st->part_end[p]) continue;
+        i64 u = st->part_u[pos];
+        i64 t = tbl0[p * n + (u % n)];  /* stage-0 queue index == t */
+        if (st->fn_len[t] && st->fn_len[t] > bl) {
+            st->ctr[C_FRONT_REJ] += 1;
+            continue;
+        }
+        i64 slot = (st->fn_head[t] + st->fn_len[t]) % D;
+        RING(st->fn_qu, t, D, slot) = u;
+        RING(st->fn_qs, t, D, slot) = st->part_sp[pos];
+        st->fn_len[t] += 1;
+        added++;
+        st->part_pos[p] = pos + 1;
+    }
+    if (added) {
+        st->fn_counts[0] += added;
+        fn_count += added;
+    }
+}
+
+static i64 parts_remaining(SoaState *st) {
+    for (i64 p = 0; p < st->n; p++)
+        if (st->part_pos[p] < st->part_end[p]) return 1;
+    return 0;
+}
+
+static i64 front_mdp_tick(SoaState *st) {
+    i64 n = st->n, ID = st->issue_depth;
+    i64 retired = 0;
+    /* -- issue: odd-even arbitration over the request heads */
+    if (iq_total) {
+        i64 parity = st->parity;
+        i64 epoch = ++epoch_ctr;
+        i64 any_claimed = 0;        /* Python: claimed dict is not None */
+        for (i64 ch = parity; ch < n; ch += 2) {    /* priority: grant */
+            if (st->iq_len[ch] && st->fo_cnt[ch] < st->fe_depth) {
+                i64 u = RING(st->iq_u, ch, ID, st->iq_head[ch]);
+                st->s_epoch[u % n] = epoch;
+                st->s_val[u % n] = u;
+                st->s_epoch[(u + 1) % n] = epoch;
+                st->s_val[(u + 1) % n] = u + 1;
+                any_claimed = 1;
+                retired += fe_retire(st, ch);
+            }
+        }
+        for (i64 ch = 1 - parity; ch < n; ch += 2) {    /* defer */
+            if (st->iq_len[ch] && st->fo_cnt[ch] < st->fe_depth) {
+                i64 u = RING(st->iq_u, ch, ID, st->iq_head[ch]);
+                i64 a2 = u + 1;
+                i64 b1 = u % n, b2 = a2 % n;
+                /* claimed.get(b, default) == default passes: a bank is
+                 * free if unclaimed OR claimed with the same value */
+                if (!any_claimed
+                    || ((st->s_epoch[b1] != epoch || st->s_val[b1] == u)
+                        && (st->s_epoch[b2] != epoch
+                            || st->s_val[b2] == a2))) {
+                    st->s_epoch[b1] = epoch; st->s_val[b1] = u;
+                    st->s_epoch[b2] = epoch; st->s_val[b2] = a2;
+                    any_claimed = 1;
+                    retired += fe_retire(st, ch);
+                } else {
+                    st->ctr[C_DEFERRALS] += 1;
+                }
+            }
+        }
+    }
+    st->parity ^= 1;
+    /* -- route: deliver into issue queues, advance, inject parts */
+    if (st->fn_counts[st->fn_stages - 1]) fn_deliver_into_issue(st);
+    if (fn_count) fn_advance_checked(st);
+    if (parts_remaining(st)) fn_inject_parts(st);
+    return retired;
+}
+
+/* ================================================================== */
+/* Frontend crossbar (_FastXbar over (u % n, u, sprop); no combining) */
+/* ================================================================== */
+
+static i64 front_xbar_tick(SoaState *st) {
+    i64 n = st->n, D = st->fifo_depth, ID = st->issue_depth;
+    i64 retired = 0;
+    /* -- issue: centralized greedy claim arbitration (rotating scan) */
+    if (iq_total) {
+        i64 epoch = ++epoch_ctr;
+        i64 start = st->fstart;
+        for (i64 k = 0; k < n; k++) {
+            i64 ch = (start + k) % n;
+            if (st->iq_len[ch] && st->fo_cnt[ch] < st->fe_depth) {
+                i64 u = RING(st->iq_u, ch, ID, st->iq_head[ch]);
+                i64 b1 = u % n, b2 = (u + 1) % n;
+                if (st->s_epoch[b1] == epoch || st->s_epoch[b2] == epoch) {
+                    st->ctr[C_DEFERRALS] += 1;
+                } else {
+                    st->s_epoch[b1] = epoch;
+                    st->s_epoch[b2] = epoch;
+                    retired += fe_retire(st, ch);
+                }
+            }
+        }
+    }
+    st->fstart = (st->fstart + 1) % n;
+    /* -- route: crossbar tick under issue-queue budgets (tick_budget:
+     * budget[dest] = issue_depth - len(issue_q[dest]), computed before
+     * arbitration; each granted dest accepts exactly one item) */
+    if (fx_count) {
+        i64 epoch = ++epoch_ctr;
+        i64 total = fx_count, seen = 0, conflicts = 0;
+        for (i64 i = 0; i < n; i++) {
+            if (!st->fx_len[i]) continue;
+            seen++;
+            i64 u = RING(st->fx_qu, i, D, st->fx_head[i]);
+            i64 dest = u % n;
+            if (st->iq_len[dest] >= ID) {
+                conflicts++;    /* every requester of a full output loses */
+            } else if (st->s_epoch2[dest] != epoch) {
+                st->s_epoch2[dest] = epoch;
+                st->s_val2[dest] = i;
+            } else {
+                conflicts++;
+                i64 ptr = st->fx_rr[dest];
+                i64 w = st->s_val2[dest];
+                if (((i - ptr) % n + n) % n < ((w - ptr) % n + n) % n)
+                    st->s_val2[dest] = i;
+            }
+            if (seen == total) break;
+        }
+        st->ctr[C_FRONT_STALL] += conflicts;
+        /* winners pop distinct inputs into distinct issue queues, so
+         * ascending-dest order here matches dict insertion order */
+        for (i64 dest = 0; dest < n; dest++) {
+            if (st->s_epoch2[dest] != epoch) continue;
+            i64 i = st->s_val2[dest];
+            i64 h = st->fx_head[i];
+            i64 slot = (st->iq_head[dest] + st->iq_len[dest]) % ID;
+            RING(st->iq_u, dest, ID, slot) = RING(st->fx_qu, i, D, h);
+            RING(st->iq_s, dest, ID, slot) = RING(st->fx_qs, i, D, h);
+            st->iq_len[dest] += 1;
+            iq_total += 1;
+            st->fx_head[i] = (h + 1) % D;
+            st->fx_len[i] -= 1;
+            fx_count--;
+            st->fx_rr[dest] = (i + 1) % n;
+        }
+    }
+    /* -- inject parts: offer one head per alive part (xbar offer has
+     * no combining here and does NOT count rejected offers) */
+    for (i64 p = 0; p < n; p++) {
+        i64 pos = st->part_pos[p];
+        if (pos >= st->part_end[p]) continue;
+        if (st->fx_len[p] >= st->fifo_depth) continue;  /* refused */
+        i64 slot = (st->fx_head[p] + st->fx_len[p]) % D;
+        RING(st->fx_qu, p, D, slot) = st->part_u[pos];
+        RING(st->fx_qs, p, D, slot) = st->part_sp[pos];
+        st->fx_len[p] += 1;
+        fx_count++;
+        st->part_pos[p] = pos + 1;
+    }
+    return retired;
+}
+
+/* ================================================================== */
+/* Range-split network (_FastRangeNet; own radix and block line)      */
+/* ================================================================== */
+
+static i64 rn_try_insert(SoaState *st, i64 stage, i64 entry, i64 off,
+                         i64 length, f64 payload) {
+    i64 w = st->w, RD = st->rn_ring, bl = st->rn_block_len;
+    i64 radix = st->rn_radix;
+    i64 block = st->rn_block[stage];
+    const i64 *ports = st->rn_ptbl + (stage * w + entry) * radix;
+    i64 start_bank = off % st->m;
+    i64 rel = start_bank % block;
+    if (rel + length <= block) {    /* common case: fits one block */
+        i64 qi = stage * w + ports[(start_bank / block) % radix];
+        if (st->rn_len[qi] > bl) return 0;
+        i64 slot = (st->rn_head[qi] + st->rn_len[qi]) % RD;
+        RING(st->rn_qo, qi, RD, slot) = off;
+        RING(st->rn_ql, qi, RD, slot) = length;
+        RING(st->rn_qp, qi, RD, slot) = payload;
+        st->rn_len[qi] += 1;
+        st->rn_counts[stage] += 1;
+        rn_count += 1;
+        return 1;
+    }
+    /* two passes exactly like the Python targets-list build: every
+     * sub-piece validates against PRE-push queue lengths (sub-pieces
+     * may share a target queue), then all push */
+    i64 o = off, sb = start_bank, len = length;
+    while (len > 0) {
+        i64 room = block - sb % block;
+        i64 take = (len < room) ? len : room;
+        if (st->rn_len[stage * w + ports[(sb / block) % radix]] > bl)
+            return 0;
+        o += take; sb += take; len -= take;
+    }
+    o = off; sb = start_bank; len = length;
+    i64 added = 0;
+    while (len > 0) {
+        i64 room = block - sb % block;
+        i64 take = (len < room) ? len : room;
+        i64 qi = stage * w + ports[(sb / block) % radix];
+        i64 slot = (st->rn_head[qi] + st->rn_len[qi]) % RD;
+        RING(st->rn_qo, qi, RD, slot) = o;
+        RING(st->rn_ql, qi, RD, slot) = take;
+        RING(st->rn_qp, qi, RD, slot) = payload;
+        st->rn_len[qi] += 1;
+        o += take; sb += take; len -= take;
+        added++;
+    }
+    st->rn_counts[stage] += added;
+    rn_count += added;
+    return 1;
+}
+
+static void rn_insert_light(SoaState *st, i64 stage, i64 entry, i64 off,
+                            i64 length, f64 payload) {
+    i64 w = st->w, RD = st->rn_ring, radix = st->rn_radix;
+    i64 block = st->rn_block[stage];
+    const i64 *ports = st->rn_ptbl + (stage * w + entry) * radix;
+    i64 sb = off % st->m;
+    i64 added = 0;
+    while (length > 0) {
+        i64 room = block - sb % block;
+        i64 take = (length < room) ? length : room;
+        i64 qi = stage * w + ports[(sb / block) % radix];
+        i64 slot = (st->rn_head[qi] + st->rn_len[qi]) % RD;
+        RING(st->rn_qo, qi, RD, slot) = off;
+        RING(st->rn_ql, qi, RD, slot) = take;
+        RING(st->rn_qp, qi, RD, slot) = payload;
+        st->rn_len[qi] += 1;
+        off += take; sb += take; length -= take;
+        added++;
+    }
+    st->rn_counts[stage] += added;
+    rn_count += added;
+}
+
+static i64 rn_offer(SoaState *st, i64 entry, i64 off, i64 length,
+                    f64 payload) {
+    if (rn_count <= st->rn_block_len) {
+        rn_insert_light(st, 0, entry, off, length, payload);
+        return 1;
+    }
+    if (rn_try_insert(st, 0, entry, off, length, payload)) return 1;
+    st->ctr[C_RNET_REJ] += 1;
+    return 0;
+}
+
+static void rn_advance_checked(SoaState *st) {
+    i64 w = st->w, RD = st->rn_ring, bl = st->rn_block_len;
+    i64 radix = st->rn_radix;
+    i64 stalled_total = 0;
+    for (i64 s = st->rn_stages - 1; s >= 1; s--) {
+        i64 total = st->rn_counts[s - 1];
+        if (!total) continue;
+        i64 block = st->rn_block[s];
+        i64 seen = 0, moved = 0, stalled = 0;
+        for (i64 p = 0; p < w; p++) {
+            i64 qi = (s - 1) * w + p;
+            if (!st->rn_len[qi]) continue;
+            seen++;
+            i64 h = st->rn_head[qi];
+            i64 off = RING(st->rn_qo, qi, RD, h);
+            i64 length = RING(st->rn_ql, qi, RD, h);
+            i64 sb = off % st->m;
+            if (sb % block + length <= block) {     /* plain move */
+                const i64 *ports = st->rn_ptbl + (s * w + p) * radix;
+                i64 ti = s * w + ports[(sb / block) % radix];
+                if (st->rn_len[ti] > bl) {
+                    stalled++;
+                } else {
+                    i64 slot = (st->rn_head[ti] + st->rn_len[ti]) % RD;
+                    RING(st->rn_qo, ti, RD, slot) = off;
+                    RING(st->rn_ql, ti, RD, slot) = length;
+                    RING(st->rn_qp, ti, RD, slot) = RING(st->rn_qp, qi, RD, h);
+                    st->rn_len[ti] += 1;
+                    st->rn_head[qi] = (h + 1) % RD;
+                    st->rn_len[qi] -= 1;
+                    moved++;
+                }
+            } else if (rn_try_insert(st, s, p, off, length,
+                                     RING(st->rn_qp, qi, RD, h))) {
+                st->rn_head[qi] = (h + 1) % RD;
+                st->rn_len[qi] -= 1;
+                st->rn_counts[s - 1] -= 1;
+                rn_count -= 1;
+            } else {
+                stalled++;
+            }
+            if (seen == total) break;
+        }
+        if (moved) {
+            st->rn_counts[s - 1] -= moved;
+            st->rn_counts[s] += moved;
+        }
+        stalled_total += stalled;
+    }
+    if (stalled_total) st->ctr[C_RNET_STALL] += stalled_total;
+}
+
+/* ================================================================== */
+/* Edge stages: shared ePE emission                                   */
+/* ================================================================== */
+
+static inline void epe_push(SoaState *st, i64 bank, i64 v, f64 imm) {
+    i64 D = st->epe_depth;
+    i64 slot = (st->ep_head[bank] + st->ep_cnt[bank]) % D;
+    RING(st->ep_v, bank, D, slot) = v;
+    RING(st->ep_imm, bank, D, slot) = imm;
+    st->ep_cnt[bank] += 1;
+}
+
+static void edge_emit(SoaState *st, i64 off, i64 length, f64 payload,
+                      i64 first_bank) {
+    /* replay pieces never wrap, so banks are consecutive from off % m;
+     * proc dispatch hoisted out of the loop like the batched kernels */
+    i64 bank = first_bank;
+    switch (st->proc) {
+    case PROC_IDENTITY:
+        for (i64 e = off; e < off + length; e++, bank++)
+            epe_push(st, bank, st->dst[e], payload);
+        break;
+    case PROC_ADD_W:
+        for (i64 e = off; e < off + length; e++, bank++)
+            epe_push(st, bank, st->dst[e], payload + (f64)st->weights[e]);
+        break;
+    case PROC_MIN_W:
+        for (i64 e = off; e < off + length; e++, bank++) {
+            f64 wt = (f64)st->weights[e];
+            epe_push(st, bank, st->dst[e], (payload < wt) ? payload : wt);
+        }
+        break;
+    default: {      /* PROC_ADD_CONST: hoisted weight-independent form */
+        f64 pv = payload + st->proc_const;
+        for (i64 e = off; e < off + length; e++, bank++)
+            epe_push(st, bank, st->dst[e], pv);
+        break;
+    }
+    }
+    epe_count += length;
+}
+
+/* ================================================================== */
+/* MDP edge stage                                                     */
+/* ================================================================== */
+
+static i64 disp_accept0(SoaState *st, i64 off, i64 length, f64 payload) {
+    if (st->dq_cnt[0] >= st->disp_depth) return 0;
+    i64 slot = (st->dq_head[0] + st->dq_cnt[0]) % st->disp_depth;
+    st->dq_off[slot] = off;
+    st->dq_len[slot] = length;
+    st->dq_pay[slot] = payload;
+    st->dq_cnt[0] += 1;
+    disp_count += 1;
+    return 1;
+}
+
+/* lazy piece stream: (cur_off, cur_rem, cur_pay) replaces rp_pieces.
+ * Pieces are consumed strictly head-first, and split_request(off, len,
+ * m, m) yields successive min(rem, m - off % m) chunks, so emitting
+ * the next chunk on demand is exactly the recorded deque of pieces. */
+static i64 rp_emit(SoaState *st, i64 ch, i64 *off, i64 *length, f64 *pay) {
+    if (!st->rp_cur_rem[ch]) {
+        if (!st->rp_cnt[ch]) return 0;
+        i64 D = st->replay_depth;
+        i64 h = st->rp_head[ch];
+        st->rp_cur_off[ch] = RING(st->rp_po, ch, D, h);
+        st->rp_cur_rem[ch] = RING(st->rp_pl, ch, D, h);
+        st->rp_cur_pay[ch] = RING(st->rp_ps, ch, D, h);
+        st->rp_head[ch] = (h + 1) % D;
+        st->rp_cnt[ch] -= 1;
+    }
+    i64 o = st->rp_cur_off[ch];
+    i64 room = st->m - o % st->m;
+    i64 rem = st->rp_cur_rem[ch];
+    *off = o;
+    *length = (rem < room) ? rem : room;
+    *pay = st->rp_cur_pay[ch];
+    return 1;
+}
+
+static void rp_consume(SoaState *st, i64 ch, i64 pos, i64 piece_len) {
+    st->rp_cur_off[ch] += piece_len;
+    st->rp_cur_rem[ch] -= piece_len;
+    if (!st->rp_cur_rem[ch] && !st->rp_cnt[ch]) {
+        st->busy_at[pos] -= 1;
+        rp_busy_total -= 1;
+    }
+}
+
+static void edge_mdp_tick(SoaState *st) {
+    i64 m = st->m, w = st->w;
+    /* 1. dispatchers issue bank reads into the ePE queues */
+    if (disp_count) {
+        i64 DD = st->disp_depth;
+        i64 issued = 0;
+        for (i64 d = 0; d < w; d++) {
+            if (!st->dq_cnt[d]) continue;
+            i64 sb = st->disp_stall[d];
+            if (sb >= 0) {
+                if (st->ep_cnt[sb] >= st->epe_depth) {
+                    st->ctr[C_EDGE_BLOCKED] += 1;
+                    continue;
+                }
+                st->disp_stall[d] = -1;
+            }
+            i64 h = st->dq_head[d];
+            i64 off = RING(st->dq_off, d, DD, h);
+            i64 length = RING(st->dq_len, d, DD, h);
+            i64 bank = off % m;
+            i64 blocked = 0;
+            for (i64 b = bank; b < bank + length; b++) {
+                if (st->ep_cnt[b] >= st->epe_depth) {
+                    st->disp_stall[d] = b;
+                    blocked = 1;
+                    break;
+                }
+            }
+            if (blocked) {
+                st->ctr[C_EDGE_BLOCKED] += 1;
+                continue;
+            }
+            f64 pay = RING(st->dq_pay, d, DD, h);
+            st->dq_head[d] = (h + 1) % DD;
+            st->dq_cnt[d] -= 1;
+            issued++;
+            edge_emit(st, off, length, pay, bank);
+        }
+        disp_count -= issued;
+    }
+    /* 2. network delivers pieces to dispatchers, then advances */
+    if (st->has_rnet && rn_count) {
+        i64 last = st->rn_stages - 1;
+        if (st->rn_counts[last]) {
+            i64 RD = st->rn_ring, DD = st->disp_depth;
+            i64 popped = 0;
+            for (i64 d = 0; d < w; d++) {
+                i64 qi = last * w + d;
+                if (st->rn_len[qi] && st->dq_cnt[d] < DD) {
+                    i64 h = st->rn_head[qi];
+                    i64 slot = (st->dq_head[d] + st->dq_cnt[d]) % DD;
+                    RING(st->dq_off, d, DD, slot) = RING(st->rn_qo, qi, RD, h);
+                    RING(st->dq_len, d, DD, slot) = RING(st->rn_ql, qi, RD, h);
+                    RING(st->dq_pay, d, DD, slot) = RING(st->rn_qp, qi, RD, h);
+                    st->rn_head[qi] = (h + 1) % RD;
+                    st->rn_len[qi] -= 1;
+                    st->dq_cnt[d] += 1;
+                    popped++;
+                }
+            }
+            st->rn_counts[last] -= popped;
+            rn_count -= popped;
+            disp_count += popped;
+        }
+        if (rn_count) rn_advance_checked(st);
+    }
+    /* 3. replay engines emit one piece per network input position:
+     * first channel in rr order holding a piece gets ONE offer attempt,
+     * then the position is done this cycle regardless of acceptance */
+    if (rp_busy_total) {
+        for (i64 pos = 0; pos < w; pos++) {
+            if (!st->busy_at[pos]) continue;
+            i64 num = st->chan_at_cnt[pos];
+            i64 rr = st->rp_rr[pos];
+            for (i64 k = 0; k < num; k++) {
+                i64 idx = (rr + k) % num;
+                i64 ch = st->chan_at[st->chan_at_start[pos] + idx];
+                i64 off, length;
+                f64 pay;
+                if (!rp_emit(st, ch, &off, &length, &pay)) continue;
+                i64 accepted = st->has_rnet
+                    ? rn_offer(st, pos, off, length, pay)
+                    : disp_accept0(st, off, length, pay);
+                if (accepted) {
+                    rp_consume(st, ch, pos, length);
+                    st->rp_rr[pos] = (idx + 1) % num;
+                }
+                break;
+            }
+        }
+    }
+    /* 4. replay engines pull new {Off, Len} requests from the frontend */
+    if (fe_total) {
+        i64 FD = st->fe_depth, RD2 = st->replay_depth;
+        i64 pulled = 0;
+        for (i64 ch = 0; ch < st->n; ch++) {
+            if (!st->fo_cnt[ch]) continue;
+            if (st->rp_cnt[ch] < RD2) {
+                if (!st->rp_cnt[ch] && !st->rp_cur_rem[ch]) {
+                    st->busy_at[st->pos_of[ch]] += 1;
+                    rp_busy_total += 1;
+                }
+                i64 h = st->fo_head[ch];
+                i64 slot = (st->rp_head[ch] + st->rp_cnt[ch]) % RD2;
+                RING(st->rp_po, ch, RD2, slot) = RING(st->fo_off, ch, FD, h);
+                RING(st->rp_pl, ch, RD2, slot) = RING(st->fo_len, ch, FD, h);
+                RING(st->rp_ps, ch, RD2, slot) = RING(st->fo_s, ch, FD, h);
+                st->fo_head[ch] = (h + 1) % FD;
+                st->fo_cnt[ch] -= 1;
+                st->rp_cnt[ch] += 1;
+                pulled++;
+            }
+        }
+        fe_total -= pulled;
+    }
+}
+
+/* ================================================================== */
+/* Central edge stage                                                 */
+/* ================================================================== */
+
+static void edge_central_tick(SoaState *st) {
+    i64 m = st->m;
+    i64 cap = st->ce_capacity;
+    /* 1. in-order greedy window issue (with the blocked-head memo) */
+    i64 issue_blocked = 0;
+    if (st->ce_stall_off >= 0) {
+        if (ce_cnt
+            && st->ce_off[ce_head] == st->ce_stall_off
+            && st->ce_len[ce_head] == st->ce_stall_len
+            && st->ep_cnt[st->ce_stall_bank] >= st->epe_depth) {
+            issue_blocked = 1;      /* head still blocked: provable no-op */
+        } else {
+            st->ce_stall_off = st->ce_stall_len = st->ce_stall_bank = -1;
+        }
+    }
+    if (ce_cnt && !issue_blocked) {
+        i64 epoch = ++epoch_ctr;    /* claimed-banks set for this tick */
+        i64 any_claimed = 0;
+        i64 issued_requests = 0;
+        while (ce_cnt && issued_requests < st->ce_issue_limit) {
+            i64 off = st->ce_off[ce_head];
+            i64 length = st->ce_len[ce_head];
+            i64 k = (length < m) ? length : m;
+            if (any_claimed) {      /* first window can never conflict */
+                i64 conflict = 0;
+                for (i64 j = 0; j < k; j++) {
+                    if (st->s_epoch[(off + j) % m] == epoch) {
+                        conflict = 1;
+                        break;
+                    }
+                }
+                if (conflict) {
+                    st->ctr[C_EDGE_BLOCKED] += 1;
+                    break;          /* strict in-order: head blocks rest */
+                }
+            }
+            i64 full = 0, jf = 0;
+            for (i64 j = 0; j < k; j++) {
+                if (st->ep_cnt[(off + j) % m] >= st->epe_depth) {
+                    full = 1;
+                    jf = j;
+                    break;
+                }
+            }
+            if (full) {
+                if (!any_claimed) {     /* nothing issued: memoize */
+                    st->ce_stall_off = off;
+                    st->ce_stall_len = length;
+                    st->ce_stall_bank = (off + jf) % m;
+                }
+                break;
+            }
+            f64 pay = st->ce_pay[ce_head];
+            switch (st->proc) {
+            case PROC_IDENTITY:
+                for (i64 j = 0; j < k; j++) {
+                    i64 e = off + j, b = e % m;
+                    epe_push(st, b, st->dst[e], pay);
+                    st->s_epoch[b] = epoch;
+                }
+                break;
+            case PROC_ADD_W:
+                for (i64 j = 0; j < k; j++) {
+                    i64 e = off + j, b = e % m;
+                    epe_push(st, b, st->dst[e], pay + (f64)st->weights[e]);
+                    st->s_epoch[b] = epoch;
+                }
+                break;
+            case PROC_MIN_W:
+                for (i64 j = 0; j < k; j++) {
+                    i64 e = off + j, b = e % m;
+                    f64 wt = (f64)st->weights[e];
+                    epe_push(st, b, st->dst[e], (pay < wt) ? pay : wt);
+                    st->s_epoch[b] = epoch;
+                }
+                break;
+            default: {
+                f64 pv = pay + st->proc_const;
+                for (i64 j = 0; j < k; j++) {
+                    i64 e = off + j, b = e % m;
+                    epe_push(st, b, st->dst[e], pv);
+                    st->s_epoch[b] = epoch;
+                }
+                break;
+            }
+            }
+            any_claimed = 1;
+            epe_count += k;
+            if (k == length) {
+                ce_head = (ce_head + 1) % cap;
+                ce_cnt -= 1;
+                issued_requests++;
+            } else {
+                st->ce_off[ce_head] = off + k;
+                st->ce_len[ce_head] = length - k;
+                break;      /* the window already spans all banks */
+            }
+        }
+    }
+    /* 2. merge front-end requests in channel order */
+    if (fe_total) {
+        i64 FD = st->fe_depth;
+        i64 pulled = 0;
+        for (i64 ch = 0; ch < st->n; ch++) {
+            if (ce_cnt >= cap) break;
+            if (st->fo_cnt[ch]) {
+                i64 h = st->fo_head[ch];
+                i64 slot = (ce_head + ce_cnt) % cap;
+                st->ce_off[slot] = RING(st->fo_off, ch, FD, h);
+                st->ce_len[slot] = RING(st->fo_len, ch, FD, h);
+                st->ce_pay[slot] = RING(st->fo_s, ch, FD, h);
+                st->fo_head[ch] = (h + 1) % FD;
+                st->fo_cnt[ch] -= 1;
+                ce_cnt += 1;
+                pulled++;
+            }
+        }
+        fe_total -= pulled;
+    }
+}
+
+/* ================================================================== */
+/* Propagation MDP net (_FastMdpNet over (v % m, v, imm, cnt))        */
+/* ================================================================== */
+
+static void pn_advance_checked(SoaState *st) {
+    i64 m = st->m, D = st->fifo_depth, bl = st->block_len;
+    i64 combined_total = 0, stalled_total = 0;
+    for (i64 s = st->pn_stages - 1; s >= 1; s--) {
+        i64 total = st->pn_counts[s - 1];
+        if (!total) continue;
+        const i64 *tbl = st->pn_table + s * m * m;
+        i64 moved = 0, seen = 0, combined = 0;
+        for (i64 p = 0; p < m; p++) {
+            i64 qi = (s - 1) * m + p;
+            if (!st->pn_len[qi]) continue;
+            seen++;
+            i64 h = st->pn_head[qi];
+            i64 v = RING(st->pn_qv, qi, D, h);
+            i64 ti = s * m + tbl[p * m + (v % m)];
+            i64 tlen = st->pn_len[ti];
+            if (tlen) {
+                i64 tslot = (st->pn_head[ti] + tlen - 1) % D;
+                if (st->combining && RING(st->pn_qv, ti, D, tslot) == v) {
+                    RING(st->pn_qi, ti, D, tslot) =
+                        red(st->reduce_op, RING(st->pn_qi, ti, D, tslot),
+                            RING(st->pn_qi, qi, D, h));
+                    RING(st->pn_qc, ti, D, tslot) += RING(st->pn_qc, qi, D, h);
+                    st->pn_head[qi] = (h + 1) % D;
+                    st->pn_len[qi] -= 1;
+                    combined++;
+                    if (seen == total) break;
+                    continue;
+                }
+                if (tlen > bl) {
+                    stalled_total++;
+                    if (seen == total) break;
+                    continue;
+                }
+            }
+            i64 slot = (st->pn_head[ti] + tlen) % D;
+            RING(st->pn_qv, ti, D, slot) = v;
+            RING(st->pn_qi, ti, D, slot) = RING(st->pn_qi, qi, D, h);
+            RING(st->pn_qc, ti, D, slot) = RING(st->pn_qc, qi, D, h);
+            st->pn_len[ti] += 1;
+            st->pn_head[qi] = (h + 1) % D;
+            st->pn_len[qi] -= 1;
+            moved++;
+            if (seen == total) break;
+        }
+        st->pn_counts[s - 1] -= (combined + moved);
+        st->pn_counts[s] += moved;
+        combined_total += combined;
+    }
+    if (combined_total) pn_count -= combined_total;
+    if (stalled_total) st->ctr[C_PROP_STALL] += stalled_total;
+}
+
+static void pn_deliver_reduce(SoaState *st, i64 *got_out, i64 *red_out) {
+    i64 m = st->m, D = st->fifo_depth;
+    i64 last = st->pn_stages - 1;
+    i64 total = st->pn_counts[last];
+    if (!total) { *got_out = 0; *red_out = 0; return; }
+    i64 got = 0, reduces = 0;
+    for (i64 p = 0; p < m; p++) {
+        i64 qi = last * m + p;
+        if (st->pn_len[qi]) {
+            i64 h = st->pn_head[qi];
+            i64 dv = RING(st->pn_qv, qi, D, h);
+            f64 imm = RING(st->pn_qi, qi, D, h);
+            reduces += RING(st->pn_qc, qi, D, h);
+            st->pn_head[qi] = (h + 1) % D;
+            st->pn_len[qi] -= 1;
+            st->tprop[dv] = red(st->reduce_op, st->tprop[dv], imm);
+            got++;
+            if (got == total) break;
+        }
+    }
+    st->pn_counts[last] -= got;
+    pn_count -= got;
+    *got_out = got;
+    *red_out = reduces;
+}
+
+/* inlined stage-0 _FastMdpNet.offer from the ePE queues, one record
+ * per channel per cycle (batched scatter step 2) */
+static void pn_offer_epes(SoaState *st) {
+    i64 m = st->m, D = st->fifo_depth, ED = st->epe_depth;
+    i64 bl = st->block_len;
+    const i64 *tbl0 = st->pn_table;
+    i64 total = epe_count, consumed = 0, added = 0, seen = 0;
+    for (i64 k = 0; k < m; k++) {
+        if (!st->ep_cnt[k]) continue;
+        seen++;
+        i64 h = st->ep_head[k];
+        i64 v = RING(st->ep_v, k, ED, h);
+        f64 imm = RING(st->ep_imm, k, ED, h);
+        i64 t = tbl0[k * m + (v % m)];  /* stage-0 queue index == t */
+        i64 tlen = st->pn_len[t];
+        if (tlen) {
+            i64 tslot = (st->pn_head[t] + tlen - 1) % D;
+            if (st->combining && RING(st->pn_qv, t, D, tslot) == v) {
+                RING(st->pn_qi, t, D, tslot) =
+                    red(st->reduce_op, RING(st->pn_qi, t, D, tslot), imm);
+                RING(st->pn_qc, t, D, tslot) += 1;
+                st->ep_head[k] = (h + 1) % ED;
+                st->ep_cnt[k] -= 1;
+                consumed++;
+            } else if (tlen > bl) {
+                st->ctr[C_PROP_REJ] += 1;
+            } else {
+                i64 slot = (st->pn_head[t] + tlen) % D;
+                RING(st->pn_qv, t, D, slot) = v;
+                RING(st->pn_qi, t, D, slot) = imm;
+                RING(st->pn_qc, t, D, slot) = 1;
+                st->pn_len[t] += 1;
+                added++;
+                st->ep_head[k] = (h + 1) % ED;
+                st->ep_cnt[k] -= 1;
+                consumed++;
+            }
+        } else {
+            i64 slot = st->pn_head[t];
+            RING(st->pn_qv, t, D, slot) = v;
+            RING(st->pn_qi, t, D, slot) = imm;
+            RING(st->pn_qc, t, D, slot) = 1;
+            st->pn_len[t] += 1;
+            added++;
+            st->ep_head[k] = (h + 1) % ED;
+            st->ep_cnt[k] -= 1;
+            consumed++;
+        }
+        if (seen == total) break;
+    }
+    epe_count -= consumed;
+    st->pn_counts[0] += added;
+    pn_count += added;
+}
+
+/* ================================================================== */
+/* Propagation crossbar (_FastXbar, combining)                        */
+/* ================================================================== */
+
+static void px_deliver_reduce(SoaState *st, i64 *got_out, i64 *red_out) {
+    i64 m = st->m, D = st->fifo_depth;
+    i64 total = px_count;
+    if (!total) { *got_out = 0; *red_out = 0; return; }
+    /* tick_unit: incremental round-robin winner per destination */
+    i64 epoch = ++epoch_ctr;
+    i64 seen = 0, conflicts = 0;
+    for (i64 i = 0; i < m; i++) {
+        if (!st->px_len[i]) continue;
+        seen++;
+        i64 v = RING(st->px_qv, i, D, st->px_head[i]);
+        i64 dest = v % m;
+        if (st->s_epoch2[dest] != epoch) {
+            st->s_epoch2[dest] = epoch;
+            st->s_val2[dest] = i;
+        } else {
+            conflicts++;
+            i64 ptr = st->px_rr[dest];
+            i64 w = st->s_val2[dest];
+            if (((i - ptr) % m + m) % m < ((w - ptr) % m + m) % m)
+                st->s_val2[dest] = i;
+        }
+        if (seen == total) break;
+    }
+    st->ctr[C_PROP_STALL] += conflicts;
+    /* distinct dests pop distinct inputs and reduce distinct vertices
+     * (dv % m == dest), so ascending-dest order matches dict order */
+    i64 got = 0, reduces = 0;
+    for (i64 dest = 0; dest < m; dest++) {
+        if (st->s_epoch2[dest] != epoch) continue;
+        i64 i = st->s_val2[dest];
+        i64 h = st->px_head[i];
+        i64 dv = RING(st->px_qv, i, D, h);
+        f64 imm = RING(st->px_qi, i, D, h);
+        reduces += RING(st->px_qc, i, D, h);
+        st->px_head[i] = (h + 1) % D;
+        st->px_len[i] -= 1;
+        px_count--;
+        st->tprop[dv] = red(st->reduce_op, st->tprop[dv], imm);
+        got++;
+        st->px_rr[dest] = (i + 1) % m;
+    }
+    *got_out = got;
+    *red_out = reduces;
+}
+
+static void px_offer_epes(SoaState *st) {
+    i64 m = st->m, D = st->fifo_depth, ED = st->epe_depth;
+    i64 total = epe_count, consumed = 0, seen = 0;
+    for (i64 k = 0; k < m; k++) {
+        if (!st->ep_cnt[k]) continue;
+        seen++;
+        i64 h = st->ep_head[k];
+        i64 v = RING(st->ep_v, k, ED, h);
+        f64 imm = RING(st->ep_imm, k, ED, h);
+        i64 flen = st->px_len[k];
+        i64 ok = 1;
+        i64 tslot = flen ? (st->px_head[k] + flen - 1) % D : 0;
+        if (flen && st->combining && RING(st->px_qv, k, D, tslot) == v) {
+            RING(st->px_qi, k, D, tslot) =
+                red(st->reduce_op, RING(st->px_qi, k, D, tslot), imm);
+            RING(st->px_qc, k, D, tslot) += 1;
+        } else if (flen >= st->fifo_depth) {
+            ok = 0;     /* xbar offer: reject, no counter */
+        } else {
+            i64 slot = (st->px_head[k] + flen) % D;
+            RING(st->px_qv, k, D, slot) = v;
+            RING(st->px_qi, k, D, slot) = imm;
+            RING(st->px_qc, k, D, slot) = 1;
+            st->px_len[k] += 1;
+            px_count++;
+        }
+        if (ok) {
+            st->ep_head[k] = (h + 1) % ED;
+            st->ep_cnt[k] -= 1;
+            consumed++;
+        }
+        if (seen == total) break;
+    }
+    epe_count -= consumed;
+}
+
+/* ================================================================== */
+/* The march                                                          */
+/* ================================================================== */
+
+i64 soa_abi_version(void) { return SOA_ABI_VERSION; }
+
+i64 soa_march(SoaState *st) {
+    if (st->magic != SOA_MAGIC || st->magic2 != SOA_MAGIC) return -2;
+    i64 n = st->n, m = st->m, w = st->w;
+    /* zero the transient queue metadata (ring payloads need no clear;
+     * all queues are provably empty at phase boundaries) */
+    fe_total = 0; iq_total = 0; fn_count = 0; fx_count = 0;
+    rn_count = 0; disp_count = 0; epe_count = 0; rp_busy_total = 0;
+    ce_cnt = 0; ce_head = 0; pn_count = 0; px_count = 0;
+    epoch_ctr = 0;
+    memset(st->iq_head, 0, n * sizeof(i64));
+    memset(st->iq_len, 0, n * sizeof(i64));
+    memset(st->fo_head, 0, n * sizeof(i64));
+    memset(st->fo_cnt, 0, n * sizeof(i64));
+    memset(st->ep_head, 0, m * sizeof(i64));
+    memset(st->ep_cnt, 0, m * sizeof(i64));
+    memset(st->ctr, 0, C_NUM * sizeof(i64));
+    i64 mx = n > m ? n : m;
+    if (w > mx) mx = w;
+    memset(st->s_epoch, 0, mx * sizeof(i64));
+    memset(st->s_epoch2, 0, mx * sizeof(i64));
+    if (st->front_is_mdp) {
+        memset(st->fn_head, 0, st->fn_stages * n * sizeof(i64));
+        memset(st->fn_len, 0, st->fn_stages * n * sizeof(i64));
+        memset(st->fn_counts, 0, st->fn_stages * sizeof(i64));
+    } else {
+        memset(st->fx_head, 0, n * sizeof(i64));
+        memset(st->fx_len, 0, n * sizeof(i64));
+    }
+    if (st->edge_is_mdp) {
+        memset(st->rp_head, 0, n * sizeof(i64));
+        memset(st->rp_cnt, 0, n * sizeof(i64));
+        memset(st->rp_cur_rem, 0, n * sizeof(i64));
+        memset(st->busy_at, 0, w * sizeof(i64));
+        memset(st->dq_head, 0, w * sizeof(i64));
+        memset(st->dq_cnt, 0, w * sizeof(i64));
+        if (st->has_rnet) {
+            memset(st->rn_head, 0, st->rn_stages * w * sizeof(i64));
+            memset(st->rn_len, 0, st->rn_stages * w * sizeof(i64));
+            memset(st->rn_counts, 0, st->rn_stages * sizeof(i64));
+        }
+    }
+    if (st->prop_is_mdp) {
+        memset(st->pn_head, 0, st->pn_stages * m * sizeof(i64));
+        memset(st->pn_len, 0, st->pn_stages * m * sizeof(i64));
+        memset(st->pn_counts, 0, st->pn_stages * sizeof(i64));
+    } else {
+        memset(st->px_head, 0, m * sizeof(i64));
+        memset(st->px_len, 0, m * sizeof(i64));
+    }
+
+    i64 expected = st->expected;
+    i64 fe_pending = st->fe_pending;
+    i64 limit = st->limit;
+    i64 cycles = 0, starved = 0, busy = 0, reduces = 0;
+
+    while (fe_pending > 0 || reduces < expected) {
+        cycles++;
+        if (cycles > limit) {
+            st->cycles = cycles; st->starved = starved;
+            st->busy = busy; st->reduces = reduces;
+            st->fe_pending = fe_pending;
+            return 1;       /* non-convergence: Python raises */
+        }
+        /* 1. propagation delivers; vPEs reduce into tProperty banks */
+        i64 got, red_cnt;
+        if (st->prop_is_mdp) {
+            pn_deliver_reduce(st, &got, &red_cnt);
+            if (pn_count) pn_advance_checked(st);
+        } else {
+            px_deliver_reduce(st, &got, &red_cnt);
+        }
+        starved += m - got;
+        busy += got;
+        reduces += red_cnt;
+        /* 2. ePEs: Process_Edge, one record per channel per cycle */
+        if (epe_count) {
+            if (st->prop_is_mdp) pn_offer_epes(st);
+            else px_offer_epes(st);
+        }
+        /* 3. Edge Array access (site 2) */
+        if (st->edge_is_mdp) edge_mdp_tick(st);
+        else edge_central_tick(st);
+        /* 4. Offset Array access + ActiveVertex fetch (site 1) */
+        if (st->front_is_mdp) fe_pending -= front_mdp_tick(st);
+        else fe_pending -= front_xbar_tick(st);
+    }
+    st->cycles = cycles;
+    st->starved = starved;
+    st->busy = busy;
+    st->reduces = reduces;
+    st->fe_pending = 0;
+    return 0;
+}

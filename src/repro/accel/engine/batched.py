@@ -250,11 +250,12 @@ class BatchedEngine:
     # Scatter phase
     # ------------------------------------------------------------------
     def scatter(self, active, sprop_all, tprop: list, stats) -> None:
-        recorder = None
-        rec_trace = None
-        fe = self.frontend
-        edge = self.edge
+        """Memo prologue (replay / partial replay / record decision), then
+        the cycle march.  The march itself is a separate method so a
+        subclassing engine (``soa``) can swap the marcher while reusing
+        the whole window machinery unchanged."""
         memo = self.phase_memo
+        record_key = None
         if memo is not None:
             key = self._arb_state()
             memo.phase_starting(key)
@@ -267,17 +268,29 @@ class BatchedEngine:
                     key, prog, active, sprop_all, tprop, stats):
                 return
             if memo.can_record(key):
-                prog = PhaseProgram(active.copy())
-                recorder = PhaseRecorder(prog)
-                rec_trace = prog.front_trace
-                fe.trace = rec_trace
-                caller_tprop = tprop
-                tprop = [None] * self.num_vertices
-                edge.rec_news = recorder.news_e
-                for obj, attr in self._reduce_sites:
-                    setattr(obj, attr, recorder.reduce)
-                counters0 = [getattr(obj, attr)
-                             for obj, attr in self._counter_sites]
+                record_key = key
+        self._march(active, sprop_all, tprop, stats, record_key)
+
+    def _march(self, active, sprop_all, tprop: list, stats,
+               record_key: tuple | None) -> None:
+        """Simulate one scatter phase cycle by cycle (recording it when
+        ``record_key`` is set)."""
+        recorder = None
+        rec_trace = None
+        fe = self.frontend
+        edge = self.edge
+        if record_key is not None:
+            prog = PhaseProgram(active.copy())
+            recorder = PhaseRecorder(prog)
+            rec_trace = prog.front_trace
+            fe.trace = rec_trace
+            caller_tprop = tprop
+            tprop = [None] * self.num_vertices
+            edge.rec_news = recorder.news_e
+            for obj, attr in self._reduce_sites:
+                setattr(obj, attr, recorder.reduce)
+            counters0 = [getattr(obj, attr)
+                         for obj, attr in self._counter_sites]
         n, m = self.n, self.m
         size = int(active.size)
         if size:
@@ -407,7 +420,7 @@ class BatchedEngine:
             stats.edges_processed += reduces
             FFWD_TELEMETRY["cycles_simulated"] += cycles
             if recorder is not None:
-                self._finish_recording(key, recorder.prog, counters0,
+                self._finish_recording(record_key, recorder.prog, counters0,
                                        cycles, starved, busy, reduces,
                                        sprop_all, caller_tprop)
             return

@@ -17,7 +17,7 @@ import types
 from repro.errors import ConfigError
 
 #: Engine registry, in documentation order.
-ENGINES = ("reference", "batched")
+ENGINES = ("reference", "batched", "soa")
 
 #: Engine used when neither the caller nor the environment picks one.
 DEFAULT_ENGINE = "batched"
@@ -68,6 +68,11 @@ def reset_ffwd_telemetry() -> dict:
 _ENGINE_EQUIVALENCE = types.MappingProxyType({
     "reference": _EQUIVALENCE_CLASS,
     "batched": _EQUIVALENCE_CLASS,
+    # soa deliberately JOINS the class: it subclasses the batched engine
+    # and swaps only the cycle marcher, and the differential suite plus
+    # tests/test_engine_fuzz.py hold it to byte-identical SimStats —
+    # so its results may share cache entries with the other two.
+    "soa": _EQUIVALENCE_CLASS,
 })
 
 
@@ -97,5 +102,8 @@ def make_engine(name: str, sim):
     if name == "reference":
         from repro.accel.engine.reference import ReferenceEngine
         return ReferenceEngine(sim)
+    if name == "soa":
+        from repro.accel.engine.soa import SoaEngine
+        return SoaEngine(sim)
     from repro.accel.engine.batched import BatchedEngine
     return BatchedEngine(sim)

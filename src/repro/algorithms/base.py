@@ -60,6 +60,11 @@ class Algorithm(ABC):
     #: irrelevant when ``uses_weights`` is False (the kernel is then a
     #: per-request constant engines may hoist out of the edge loop).
     process_op: str | None = None
+    #: For weight-independent kernels (``uses_weights`` False, not
+    #: identity): declares ``process_edge(sprop, w) == sprop + C`` so
+    #: compiled engines can run the kernel without calling back into
+    #: Python; ``None`` keeps the method call (those engines fall back).
+    process_const: float | None = None
 
     # ------------------------------------------------------------------
     # State initialisation

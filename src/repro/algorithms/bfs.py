@@ -17,6 +17,7 @@ class BFS(Algorithm):
     name = "BFS"
     uses_weights = False
     reduce_op = "min"
+    process_const = 1.0     # process_edge == sprop + 1.0
 
     def init_prop(self, graph: CSRGraph, source: int) -> np.ndarray:
         prop = np.full(graph.num_vertices, np.inf, dtype=np.float64)

@@ -39,10 +39,18 @@ SCHEMA: dict[str, tuple] = {
     "machine": (str,),
 }
 
-#: optional field -> accepted types (older records predate these)
+#: optional field -> accepted types (older records predate these; the
+#: ``soa`` engine joined the probe after the first records were laid
+#: down, so its timings are optional forever)
 OPTIONAL_SCHEMA: dict[str, tuple] = {
     "ffwd": (dict,),
+    "soa_seconds": (int, float),
+    "speedup_soa": (int, float),
+    "median_job_speedup_soa": (int, float),
 }
+
+#: optional numeric fields that must be positive when present
+_OPTIONAL_POSITIVE = ("soa_seconds", "speedup_soa", "median_job_speedup_soa")
 
 
 def validate_record(record: dict, lineno: int) -> list[str]:
@@ -61,7 +69,10 @@ def validate_record(record: dict, lineno: int) -> list[str]:
                 f"{'/'.join(t.__name__ for t in types)}, "
                 f"got {type(record[field]).__name__}")
     for field, types in OPTIONAL_SCHEMA.items():
-        if field in record and not isinstance(record[field], types):
+        if field not in record:
+            continue
+        if (isinstance(record[field], bool) and bool not in types) \
+                or not isinstance(record[field], types):
             errors.append(
                 f"line {lineno}: field {field!r} must be "
                 f"{'/'.join(t.__name__ for t in types)}, "
@@ -72,6 +83,9 @@ def validate_record(record: dict, lineno: int) -> list[str]:
         for field in ("reference_seconds", "batched_seconds", "speedup",
                       "median_job_speedup"):
             if record[field] <= 0:
+                errors.append(f"line {lineno}: {field} must be positive")
+        for field in _OPTIONAL_POSITIVE:
+            if field in record and record[field] <= 0:
                 errors.append(f"line {lineno}: {field} must be positive")
     return errors
 

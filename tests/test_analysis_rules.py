@@ -405,6 +405,62 @@ class TestEngineCompat:
         assert run(tmp_path, "engine-seam") == []
 
 
+class TestEngineRegistry:
+    """Registering an engine is a three-point contract (PR 7)."""
+
+    REGISTRY = "src/repro/accel/engine/registry.py"
+
+    def _write_registry(self, tmp_path, engines, equivalence, branches):
+        lines = [
+            "import types",
+            "",
+            f"ENGINES = {engines!r}",
+            f"_ENGINE_EQUIVALENCE = types.MappingProxyType({equivalence!r})",
+            "",
+            "def make_engine(name, sim):",
+        ]
+        for branch in branches:
+            lines.append(f'    if name == "{branch}":')
+            lines.append(f'        return "{branch}-engine"')
+        lines.append('    return "fallback-engine"')
+        write(tmp_path, self.REGISTRY, "\n".join(lines) + "\n")
+
+    def test_consistent_registry_is_quiet(self, tmp_path):
+        self._write_registry(
+            tmp_path, ("reference", "batched", "soa"),
+            {"reference": "v1", "batched": "v1", "soa": "v1"},
+            ["reference", "soa"])
+        assert run(tmp_path, "engine-registry") == []
+
+    def test_engine_without_equivalence_entry(self, tmp_path):
+        self._write_registry(
+            tmp_path, ("reference", "batched", "soa"),
+            {"reference": "v1", "batched": "v1"},
+            ["reference", "soa"])
+        assert symbols(run(tmp_path, "engine-registry")) == ["no-class.soa"]
+
+    def test_stale_equivalence_entry(self, tmp_path):
+        self._write_registry(
+            tmp_path, ("reference", "batched"),
+            {"reference": "v1", "batched": "v1", "warp": "v1"},
+            ["reference"])
+        assert symbols(run(tmp_path, "engine-registry")) == [
+            "stale-class.warp"]
+
+    def test_two_engines_on_the_fallback_branch(self, tmp_path):
+        self._write_registry(
+            tmp_path, ("reference", "batched", "soa"),
+            {"reference": "v1", "batched": "v1", "soa": "v1"},
+            ["reference"])
+        found = symbols(run(tmp_path, "engine-registry"))
+        assert found == ["fallback.batched.soa"]
+
+    def test_missing_registry_module(self, tmp_path):
+        write(tmp_path, "src/repro/accel/engine/__init__.py", "")
+        assert symbols(run(tmp_path, "engine-registry")) == [
+            "missing-registry"]
+
+
 # ----------------------------------------------------------------------
 # bench-history (rule wrapper over repro.analysis.history)
 # ----------------------------------------------------------------------

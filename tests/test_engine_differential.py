@@ -1,9 +1,12 @@
-"""Differential suite: the batched engine must be cycle-exact.
+"""Differential suite: every non-reference engine must be cycle-exact.
 
 The equivalence contract (see ``repro.accel.engine``) is that the
-``batched`` engine produces **identical** ``SimStats`` — every counter,
-not just totals — and identical result properties to the ``reference``
-engine, for every configuration, graph and algorithm.  This suite
+``batched`` and ``soa`` engines produce **identical** ``SimStats`` —
+every counter, not just totals — and identical result properties to the
+``reference`` engine, for every configuration, graph and algorithm.
+``assert_engines_agree`` runs *all* registered engines, so a fourth
+engine joins the matrix by registering itself; failures report the
+first diverging stats key plus a one-line reproducer.  This suite
 enforces the contract over
 
 * the tier-1 matrix: the three Table 1 designs x all five algorithms x
@@ -51,17 +54,61 @@ def _make_algorithm(name):
     return make_algorithm(name)
 
 
+def first_divergence(expected, actual):
+    """First ``SimStats.to_dict()`` key the two runs disagree on.
+
+    Returns ``(key, expected_value, actual_value)`` or ``None`` when the
+    dicts are identical.  Keys missing on either side count as diverging
+    (value reported as the string ``"<absent>"``).
+    """
+    for key in list(expected) + [k for k in actual if k not in expected]:
+        lhs = expected.get(key, "<absent>")
+        rhs = actual.get(key, "<absent>")
+        if lhs != rhs:
+            return key, lhs, rhs
+    return None
+
+
+def divergence_message(engine, algorithm_name, graph, config, source,
+                       ref_stats, other_stats, repro=None):
+    """One-line failure report: first diverging key + a reproducer.
+
+    ``repro`` overrides the reproducer line (the fuzzer passes its seed
+    replay command); the default points at the closest CLI invocation.
+    """
+    div = first_divergence(ref_stats, other_stats)
+    key, exp, got = div if div else ("<none>", "?", "?")
+    if repro is None:
+        repro = (f"PYTHONPATH=src python -m repro simulate "
+                 f"--algorithm {algorithm_name} --engine {engine} "
+                 f"--source {source}  # graph={graph.name} "
+                 f"config={config.name}")
+    return (f"SimStats diverge: reference vs {engine} for "
+            f"{algorithm_name} on {graph.name} / {config.name}: "
+            f"first diverging key {key!r}: reference={exp!r} "
+            f"{engine}={got!r}\n  reproduce: {repro}")
+
+
 def assert_engines_agree(config, graph, algorithm_name, source=0):
-    """Run both engines and compare stats dict + properties exactly."""
-    ref = simulate(config, graph, _make_algorithm(algorithm_name),
-                   source=source, engine="reference")
-    bat = simulate(config, graph, _make_algorithm(algorithm_name),
-                   source=source, engine="batched")
-    assert bat.stats.to_dict() == ref.stats.to_dict(), (
-        f"SimStats diverge for {algorithm_name} on {graph.name} / "
-        f"{config.name}")
-    assert np.array_equal(ref.properties, bat.properties)
-    return ref, bat
+    """Run every registered engine; stats + properties must match the
+    reference byte-for-byte.  Returns ``{engine: result}``."""
+    results = {}
+    for engine in ENGINES:
+        results[engine] = simulate(config, graph,
+                                   _make_algorithm(algorithm_name),
+                                   source=source, engine=engine)
+    ref = results["reference"]
+    for engine, res in results.items():
+        if engine == "reference":
+            continue
+        if res.stats.to_dict() != ref.stats.to_dict():
+            pytest.fail(divergence_message(
+                engine, algorithm_name, graph, config, source,
+                ref.stats.to_dict(), res.stats.to_dict()))
+        assert np.array_equal(ref.properties, res.properties), (
+            f"properties diverge: reference vs {engine} for "
+            f"{algorithm_name} on {graph.name} / {config.name}")
+    return results
 
 
 class TestTier1Matrix:
@@ -178,15 +225,16 @@ class TestSlicedMode:
                                        _make_algorithm("SSSP"),
                                        slices=slices, engine=engine)
             results[engine] = sim.run(source=0)
-        assert (results["batched"].stats.to_dict()
-                == results["reference"].stats.to_dict())
-        assert np.array_equal(results["batched"].properties,
-                              results["reference"].properties)
+        for engine in ENGINES:
+            assert (results[engine].stats.to_dict()
+                    == results["reference"].stats.to_dict()), engine
+            assert np.array_equal(results[engine].properties,
+                                  results["reference"].properties), engine
 
 
 class TestEngineSelection:
     def test_registry_and_default(self):
-        assert set(ENGINES) == {"reference", "batched"}
+        assert set(ENGINES) == {"reference", "batched", "soa"}
         assert DEFAULT_ENGINE in ENGINES
         assert resolve_engine("Reference") == "reference"
         assert resolve_engine(None) in ENGINES
@@ -207,13 +255,14 @@ class TestEngineSelection:
     def test_engines_share_cache_token(self):
         """Verified-equivalent engines must alias their cache entries."""
         assert engine_cache_token("reference") == engine_cache_token("batched")
+        assert engine_cache_token("soa") == engine_cache_token("batched")
 
     def test_engine_choice_does_not_change_cache_key(self):
         from repro.sweep import SweepJob
         graph = star(8)
         keys = {SweepJob(graph=graph, algorithm="BFS", config=higraph(),
                          engine=engine).cache_key("v0")
-                for engine in (None, "reference", "batched")}
+                for engine in (None, "reference", "batched", "soa")}
         assert len(keys) == 1
 
     def test_tracer_forces_reference(self):
@@ -318,10 +367,11 @@ class TestWindowBoundaries:
             sim = SlicedAcceleratorSim(cfg, graph, _make_algorithm("PR"),
                                        slices=slices, engine=engine)
             results[engine] = sim.run(source=0)
-        assert (results["batched"].stats.to_dict()
-                == results["reference"].stats.to_dict())
-        assert np.array_equal(results["batched"].properties,
-                              results["reference"].properties)
+        for engine in ENGINES:
+            assert (results[engine].stats.to_dict()
+                    == results["reference"].stats.to_dict()), engine
+            assert np.array_equal(results[engine].properties,
+                                  results["reference"].properties), engine
 
     @pytest.mark.parametrize("seed", [41, 42])
     def test_randomized_graphs_at_window_boundary_depths(self, seed):
@@ -331,6 +381,97 @@ class TestWindowBoundaries:
                           fifo_depth=depth, dispatcher_group=2)
             for algorithm in ("BFS", "SSSP", "PR"):
                 assert_engines_agree(cfg, graph, algorithm)
+
+
+class TestDegenerateGeometries:
+    """Minimal and lopsided networks every engine must survive.
+
+    The smallest legal MDP geometry is two channels at radix 2 (one
+    stage, one switch; a single-channel MDP network is a ConfigError),
+    and the smallest legal FIFO is ``fifo_depth == radix`` — both
+    boundary the SoA kernel's ring indexing at occupancy == capacity.
+    """
+
+    @pytest.fixture(scope="class")
+    def small(self):
+        return rmat(7, 5.0, seed=17, name="rmat7-17")
+
+    def test_two_channel_minimum_network(self, small):
+        cfg = higraph().with_(front_channels=2, back_channels=2, radix=2,
+                              fifo_depth=2, dispatcher_group=1)
+        assert_engines_agree(cfg, small, "BFS")
+        assert_engines_agree(cfg, small, "PR")
+
+    def test_single_channel_mdp_rejected_for_every_engine(self):
+        graph = star(16)
+        with pytest.raises(ConfigError):
+            cfg = higraph(front_channels=1, back_channels=1)
+            for engine in ENGINES:
+                simulate(cfg, graph, _make_algorithm("BFS"), engine=engine)
+
+    def test_single_part_frontends(self):
+        """A frontier smaller than the channel count: most channels get
+        zero parts, the rest exactly one (the part-stream degenerate
+        case — each channel's lazy piece iterator yields at most once)."""
+        graph = grid_2d(5, 5)
+        cfg = higraph(front_channels=16, back_channels=16)
+        assert_engines_agree(cfg, graph, "BFS")
+        assert_engines_agree(cfg, graph, "SSSP", source=24)
+
+    def test_depth_one_issue_and_output_queues(self, small):
+        cfg = higraph(issue_queue_depth=1, fe_out_depth=1,
+                      epe_queue_depth=1)
+        assert_engines_agree(cfg, small, "SSSP")
+
+
+class TestEngineAlternation:
+    """Engines must coexist in one process without leaking state."""
+
+    def test_ffwd_telemetry_does_not_leak_across_engines(self):
+        """FFWD_TELEMETRY is zeroed at engine construction, so each
+        run's numbers stand alone even when engines alternate."""
+        from repro.accel.engine import FFWD_TELEMETRY
+        graph = rmat(7, 5.0, seed=17, name="rmat7-17")
+
+        def run(engine):
+            simulate(higraph(), graph, _make_algorithm("PR"),
+                     engine=engine)
+            return dict(FFWD_TELEMETRY)
+
+        first_soa = run("soa")
+        assert first_soa["cycles_simulated"] > 0
+        run("batched")
+        run("reference")  # must not disturb the shared dict shape
+        again_soa = run("soa")
+        assert again_soa == first_soa, (
+            "FFWD_TELEMETRY leaked across engine alternation")
+
+    def test_soa_without_kernel_degrades_to_batched(self, monkeypatch):
+        """No compiled kernel (``REPRO_SOA_KERNEL=off`` or no compiler)
+        must leave the soa engine byte-identical via the inherited
+        batched march."""
+        import repro.accel.engine.soa as soa_module
+        monkeypatch.setattr(soa_module, "load_kernel", lambda: None)
+        graph = rmat(7, 5.0, seed=17, name="rmat7-17")
+        for algorithm in ("SSSP", "PR"):
+            bare = simulate(higraph(), graph, _make_algorithm(algorithm),
+                            engine="soa")
+            ref = simulate(higraph(), graph, _make_algorithm(algorithm),
+                           engine="reference")
+            assert bare.stats.to_dict() == ref.stats.to_dict()
+            assert np.array_equal(bare.properties, ref.properties)
+
+    def test_reachability_fuzzes_through_soa(self):
+        """REACH declares max-reduce with an identity process kernel —
+        the sixth algorithm exercises the proc=0 kernel path."""
+        graph = rmat(7, 5.0, seed=17, name="rmat7-17")
+        ref = simulate(higraph(), graph, make_algorithm("REACH"),
+                       engine="reference")
+        for engine in ("batched", "soa"):
+            res = simulate(higraph(), graph, make_algorithm("REACH"),
+                           engine=engine)
+            assert res.stats.to_dict() == ref.stats.to_dict(), engine
+            assert np.array_equal(ref.properties, res.properties)
 
 
 class TestPartialRepeat:
