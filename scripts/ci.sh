@@ -4,10 +4,12 @@
 #
 #   ci.sh            == ci.sh all
 #   ci.sh lint       `repro lint` contract & determinism analyzer
-#                    (cache keys, module state, telemetry reset, repo guards)
+#                    (cache keys, module state, C seam, fork safety, docs)
+#   ci.sh lint-sarif emit the lint report as SARIF for CI annotation
+#                    (artifact consumed by the upload-sarif workflow job)
 #   ci.sh tests      tier-1 pytest (includes the engine differential suite)
-#   ci.sh coverage   engine-package line coverage with a committed floor
-#                    (stdlib tracer — the container has no pytest-cov)
+#   ci.sh coverage   engine- and analysis-package line coverage with
+#                    committed floors (stdlib tracer — no pytest-cov)
 #   ci.sh fuzz       seeded differential fuzz smoke (all engines,
 #                    REPRO_FUZZ_CASES cases beyond the tier-1 default)
 #   ci.sh docs       docs/cli.md vs `repro --help` consistency check
@@ -30,14 +32,33 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 # every stage's mktemp dir is registered here and removed on ANY exit,
 # including a failed assertion under `set -e`
 CI_TMP_DIRS=()
-cleanup() { ((${#CI_TMP_DIRS[@]})) && rm -rf "${CI_TMP_DIRS[@]}"; }
+# (plain `(( ))` here would make the trap itself exit 1 when the array
+# is empty, failing green runs of stages that never made a temp dir)
+cleanup() { if ((${#CI_TMP_DIRS[@]})); then rm -rf "${CI_TMP_DIRS[@]}"; fi; }
 trap cleanup EXIT
 ci_mktemp_d() { local d; d="$(mktemp -d)"; CI_TMP_DIRS+=("$d"); echo "$d"; }
 
 stage_lint() {
-    echo "== repro lint (contract & determinism analyzer, 13 rules) =="
-    # hard gate: any non-baselined finding fails the build
-    python -m repro lint
+    echo "== repro lint (contract & determinism analyzer, 20 rules) =="
+    # hard gate: any non-baselined finding fails the build; --no-cache
+    # so CI always measures the cold path
+    python -m repro lint --no-cache
+}
+
+stage_lint_sarif() {
+    echo "== repro lint --format sarif (CI annotation artifact) =="
+    local out="${CI_SARIF_OUT:-/tmp/repro-lint.sarif}"
+    # exit code intentionally ignored: stage_lint is the gate; this
+    # stage only materializes the annotation artifact
+    python -m repro lint --format sarif > "$out" || true
+    python - "$out" <<'EOF'
+import json, sys
+log = json.load(open(sys.argv[1]))
+assert log["version"] == "2.1.0" and log["runs"], "malformed SARIF"
+run = log["runs"][0]
+print(f"SARIF OK: {len(run['results'])} result(s), "
+      f"{len(run['tool']['driver']['rules'])} rule(s) -> {sys.argv[1]}")
+EOF
 }
 
 stage_tests() {
@@ -47,7 +68,9 @@ stage_tests() {
 
 stage_coverage() {
     echo "== engine-package coverage (stdlib tracer, committed floor) =="
-    python scripts/engine_coverage.py
+    python scripts/engine_coverage.py --package engine
+    echo "== analysis-package coverage (stdlib tracer, committed floor) =="
+    python scripts/engine_coverage.py --package analysis
 }
 
 stage_fuzz() {
@@ -115,7 +138,7 @@ stage_perf() {
 }
 
 usage() {
-    sed -n '2,19p' "$0"
+    sed -n '2,21p' "$0"
     exit 2
 }
 
@@ -126,6 +149,7 @@ fi
 for stage in "${stages[@]}"; do
     case "$stage" in
         lint)     stage_lint ;;
+        lint-sarif) stage_lint_sarif ;;
         tests)    stage_tests ;;
         coverage) stage_coverage ;;
         fuzz)     stage_fuzz ;;
@@ -133,8 +157,9 @@ for stage in "${stages[@]}"; do
         sweep)    stage_sweep ;;
         report)   stage_report ;;
         perf)     stage_perf ;;
-        all)      stage_lint; stage_tests; stage_coverage; stage_fuzz;
-                  stage_docs; stage_sweep; stage_report; stage_perf ;;
+        all)      stage_lint; stage_lint_sarif; stage_tests;
+                  stage_coverage; stage_fuzz; stage_docs; stage_sweep;
+                  stage_report; stage_perf ;;
         -h|--help) usage ;;
         *) echo "ci.sh: unknown stage '$stage'" >&2; usage ;;
     esac

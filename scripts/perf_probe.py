@@ -243,8 +243,10 @@ def main(argv=None) -> int:
         equivalence_class=engine_cache_token("batched"),
         ffwd=dict(ffwd),
     )
-    with open(out_path, "a", encoding="utf-8") as fh:
-        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    # single-write append via the shared atomic-write discipline, so a
+    # concurrent probe (or a killed one) cannot interleave/tear a record
+    from repro.sweep.atomic import append_line
+    append_line(out_path, json.dumps(record, sort_keys=True))
     print("BENCH " + json.dumps(record, sort_keys=True))
     print(f"wrote {out_path}")
 

@@ -61,6 +61,24 @@ _C_PROP_STALL = 6
 _C_PROP_REJ = 7
 _C_NUM = 8
 
+#: Seam metadata: which Python counter-site attributes each C counter
+#: slot is committed to in :meth:`SoaEngine._march` (one slot may feed
+#: different sites depending on the configured subnetwork kind).  The
+#: ``c-seam-counters`` lint rule cross-checks this map three ways:
+#: slot constants above, the ``+= int(ctr[...])`` commit statements
+#: below, and the ``counter_sites()`` attribute names the batched
+#: subnetworks expose.
+_SLOT_SITES = types.MappingProxyType({
+    "_C_DEFERRALS": ("deferrals",),
+    "_C_FRONT_STALL": ("stall_events", "conflicts"),
+    "_C_FRONT_REJ": ("rejected_offers",),
+    "_C_EDGE_BLOCKED": ("disp_blocked", "window_conflicts"),
+    "_C_RNET_STALL": ("stall_events",),
+    "_C_RNET_REJ": ("rejected_offers",),
+    "_C_PROP_STALL": ("stall_events", "conflicts"),
+    "_C_PROP_REJ": ("rejected_offers",),
+})
+
 
 class _SoaState(ctypes.Structure):
     """ctypes mirror of ``SoaState`` in ``_soa_march.c``.

@@ -12,12 +12,21 @@ It is a small AST-walking rule framework plus repo-specific rules:
 
 * :mod:`repro.analysis.findings`  — the :class:`Finding` record
 * :mod:`repro.analysis.registry`  — rule registration (``@rule``),
-  per-rule severity and scope
+  per-rule severity and scope, the generated markdown catalog
 * :mod:`repro.analysis.context`   — parsed-module / project contexts
+  (plus the memoized project call graph accessor)
+* :mod:`repro.analysis.cparse`    — dependency-free C declaration
+  parser for the ``_soa_march.c`` seam rules
+* :mod:`repro.analysis.callgraph` — project-wide call/reference graph
+* :mod:`repro.analysis.dataflow`  — reaching self-attribute loads,
+  module-global mutation sites, fork entry points
 * :mod:`repro.analysis.baseline`  — the committed grandfather file
   (``lint-baseline.json``) for justified, suppressed findings
+* :mod:`repro.analysis.cache`     — per-file incremental result cache
+  (``.repro-lint-cache.json``)
 * :mod:`repro.analysis.runner`    — rule execution, inline-``allow``
   suppression, baseline application, text/JSON reports
+* :mod:`repro.analysis.sarif`     — SARIF 2.1.0 export for CI
 * :mod:`repro.analysis.history`   — BENCH history schema/trajectory
   checks (shared with ``scripts/check_bench_history.py``)
 * :mod:`repro.analysis.rules`     — the rule catalog itself

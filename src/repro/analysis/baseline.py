@@ -83,14 +83,19 @@ class Baseline:
         return cls(entries)
 
     def save(self, path: str | Path) -> None:
-        """Write deterministically (sorted entries, stable JSON)."""
+        """Write deterministically (sorted entries, stable JSON).
+
+        Atomic (temp + rename): ``--update-baseline`` racing a reader
+        (CI, another lint) can never expose a half-written file.  The
+        import is lazy so plain lint runs never touch the sweep layer.
+        """
+        from repro.sweep.atomic import atomic_write_json
         payload = {
             "version": _FORMAT_VERSION,
             "entries": [e.to_dict() for e in sorted(self.entries,
                                                     key=BaselineEntry.key)],
         }
-        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
-                              + "\n", encoding="utf-8")
+        atomic_write_json(path, payload)
 
     # ------------------------------------------------------------------
     def match(self, finding: Finding) -> BaselineEntry | None:

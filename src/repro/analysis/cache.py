@@ -1,0 +1,133 @@
+"""Per-file incremental result cache for ``repro lint``.
+
+Module-scope rules are pure functions of one file's text, so their
+findings can be replayed from a cache instead of re-parsed on every
+run — that is what keeps a warm ``repro lint`` effectively free on the
+module half of the catalog.  Project-scope rules (the C seam, the call
+graph, the cache-key perturbation) read many files at once and are
+never cached; they re-run every time.
+
+Safety model — a cache entry is replayed only when **all three** match:
+
+* the *salt*: a digest of every source file in the analysis package
+  itself, so editing any rule, the parser, or the dataflow layer
+  invalidates the whole cache at once (no "stale verdict from an old
+  rule" class of bug);
+* the analyzed file's content digest;
+* the rule id.
+
+The cache file (``.repro-lint-cache.json``, repo root) is disposable
+and git-ignored; a corrupt, missing, or foreign-version file degrades
+to a cold run, never to an error.  Writes go through
+:func:`repro.sweep.atomic.atomic_write_json` so a lint racing another
+lint can never observe a torn file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+#: Cache file name, resolved against the lint root.
+CACHE_NAME = ".repro-lint-cache.json"
+
+_FORMAT_VERSION = 1
+
+_SALT_MEMO: str | None = None
+
+
+def analysis_salt() -> str:
+    """Digest of the analysis package's own sources (memoized).
+
+    Any edit to a rule, the C parser, the call graph, or this module
+    changes the salt and drops every cached verdict.
+    """
+    global _SALT_MEMO
+    if _SALT_MEMO is None:
+        package_dir = Path(__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(package_dir.rglob("*.py")):
+            digest.update(path.relative_to(package_dir).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _SALT_MEMO = digest.hexdigest()
+    return _SALT_MEMO
+
+
+def content_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class AnalysisCache:
+    """Replayable per-(file, rule) findings keyed by content digest."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.path = Path(root) / CACHE_NAME
+        self.salt = analysis_salt()
+        self._files: dict[str, dict] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, root: str | Path) -> "AnalysisCache":
+        """Read the cache; anything suspicious degrades to empty."""
+        cache = cls(root)
+        try:
+            payload = json.loads(cache.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if (not isinstance(payload, dict)
+                or payload.get("version") != _FORMAT_VERSION
+                or payload.get("salt") != cache.salt
+                or not isinstance(payload.get("files"), dict)):
+            return cache
+        cache._files = payload["files"]
+        return cache
+
+    def save(self) -> None:
+        """Persist atomically — only when something actually changed."""
+        if not self._dirty:
+            return
+        from repro.sweep.atomic import atomic_write_json
+        atomic_write_json(self.path, {
+            "version": _FORMAT_VERSION,
+            "salt": self.salt,
+            "files": self._files,
+        })
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    def lookup(self, relpath: str, digest: str,
+               rule_id: str) -> list[Finding] | None:
+        """Cached findings for (file, rule), or ``None`` on a miss."""
+        entry = self._files.get(relpath)
+        if (not isinstance(entry, dict) or entry.get("digest") != digest
+                or not isinstance(entry.get("rules"), dict)):
+            self.misses += 1
+            return None
+        raw = entry["rules"].get(rule_id)
+        if not isinstance(raw, list):
+            self.misses += 1
+            return None
+        try:
+            findings = [Finding(**item) for item in raw]
+        except TypeError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def store(self, relpath: str, digest: str, rule_id: str,
+              findings: list[Finding]) -> None:
+        entry = self._files.get(relpath)
+        if not isinstance(entry, dict) or entry.get("digest") != digest:
+            entry = {"digest": digest, "rules": {}}
+            self._files[relpath] = entry
+        entry["rules"][rule_id] = [f.to_dict() for f in findings]
+        self._dirty = True

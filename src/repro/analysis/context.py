@@ -64,6 +64,7 @@ class Project:
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root).resolve()
         self._modules: dict[str, ModuleContext | None] = {}
+        self._callgraph = None
 
     # ------------------------------------------------------------------
     def module(self, relpath: str) -> ModuleContext | None:
@@ -91,6 +92,15 @@ class Project:
                 continue
             contexts.append(ctx)
         return contexts
+
+    def callgraph(self):
+        """The project call graph, built once per lint run and shared
+        by every interprocedural rule (import is lazy: module-only
+        lints never pay for the build)."""
+        if self._callgraph is None:
+            from repro.analysis.callgraph import CallGraph
+            self._callgraph = CallGraph(self)
+        return self._callgraph
 
     def finding(self, relpath: str, line: int, message: str,
                 symbol: str = "", severity: str = "") -> Finding:

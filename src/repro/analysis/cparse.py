@@ -1,0 +1,399 @@
+"""Lightweight C declaration parser for the seam verifier.
+
+Reads the *declaration surface* of a C translation unit — ``#define``
+constants, ``struct`` layouts and ``enum`` members — which is all the
+C↔Python seam rules need to cross-check ``_soa_march.c`` against its
+ctypes/numpy mirrors in ``soa.py``.  It is **not** a C front end: no
+expressions, no statements, no semantic analysis.  Plain stdlib, no
+external dependencies, tolerant of the things real headers contain
+(comments inside struct bodies, ``#if``/``#ifdef`` blocks, multi-word
+base types, multi-declarator lines, array suffixes), and every parsed
+object carries the 1-based source line it was declared on so lint
+findings can point at both sides of the seam.
+
+Preprocessor model: comments are blanked (newlines preserved), then
+conditional blocks are resolved by taking the first *true* branch —
+``#if 0`` is recognised as false (its ``#else`` activates), everything
+else is assumed true.  That is exactly right for the kernel sources
+this repo compiles with a fixed configuration, and degrades to "parse
+the default configuration" elsewhere.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["CDefine", "CField", "CStruct", "CEnum", "CUnit", "parse_c"]
+
+_INT_SUFFIX_RE = re.compile(r"[uUlL]+$")
+
+
+@dataclass(frozen=True)
+class CDefine:
+    """An object-like ``#define NAME VALUE``."""
+
+    name: str
+    value: str                  # raw replacement text, stripped
+    line: int
+
+    def int_value(self) -> int | None:
+        """The define's value as an int when it is a single literal
+        (suffixes like ``LL`` stripped); ``None`` for expressions."""
+        text = _INT_SUFFIX_RE.sub("", self.value.strip())
+        try:
+            return int(text, 0)
+        except ValueError:
+            return None
+
+
+@dataclass(frozen=True)
+class CField:
+    """One declarator of a struct member declaration."""
+
+    name: str
+    base: str                   # declared type words, e.g. "const i64"
+    pointer: bool
+    line: int
+
+    @property
+    def scalar(self) -> str:
+        """The base type with qualifiers dropped (``i64``, ``f64``...)."""
+        words = [w for w in self.base.split()
+                 if w not in ("const", "volatile", "struct", "enum")]
+        return " ".join(words)
+
+    @property
+    def kind(self) -> str:
+        """``"<scalar>"`` for values, ``"<scalar>*"`` for pointers."""
+        return self.scalar + ("*" if self.pointer else "")
+
+
+@dataclass(frozen=True)
+class CStruct:
+    name: str
+    fields: tuple[CField, ...]
+    line: int
+
+    def field(self, name: str) -> CField | None:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        return None
+
+
+@dataclass(frozen=True)
+class CEnum:
+    """``enum`` members with resolved values (auto-increment applied;
+    a non-literal initializer yields ``None`` for it and its
+    successors, which the seam rules treat as "cannot verify")."""
+
+    name: str
+    members: tuple[tuple[str, int | None], ...]
+    line: int
+    member_lines: tuple[int, ...] = ()
+
+
+@dataclass
+class CUnit:
+    """Everything :func:`parse_c` extracted from one source text."""
+
+    defines: dict[str, CDefine] = field(default_factory=dict)
+    structs: dict[str, CStruct] = field(default_factory=dict)
+    enums: dict[str, CEnum] = field(default_factory=dict)
+    typedefs: dict[str, str] = field(default_factory=dict)
+
+    def canonical_type(self, name: str) -> str:
+        """Follow scalar typedef chains (``i64`` -> ``long long``)."""
+        seen = set()
+        while name in self.typedefs and name not in seen:
+            seen.add(name)
+            name = self.typedefs[name]
+        return name
+
+
+# ----------------------------------------------------------------------
+# pass 1: blank comments, preserving line structure
+# ----------------------------------------------------------------------
+
+def _blank_comments(source: str) -> str:
+    out = []
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        two = source[i:i + 2]
+        if two == "/*":
+            end = source.find("*/", i + 2)
+            end = n if end < 0 else end + 2
+            out.append("".join(c if c == "\n" else " "
+                               for c in source[i:end]))
+            i = end
+        elif two == "//":
+            end = source.find("\n", i)
+            end = n if end < 0 else end
+            out.append(" " * (end - i))
+            i = end
+        elif ch in "\"'":
+            # keep string/char literals opaque so comment markers (or
+            # braces) inside them cannot confuse later passes
+            j = i + 1
+            while j < n and source[j] != ch:
+                j += 2 if source[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(ch + " " * (j - i - 2) + (ch if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+# ----------------------------------------------------------------------
+# pass 2: resolve conditionals, collect #defines, keep active lines
+# ----------------------------------------------------------------------
+
+_DIRECTIVE_RE = re.compile(r"^\s*#\s*(\w+)\s*(.*)$")
+_DEFINE_RE = re.compile(r"^(\w+)(\(?)\s*(.*)$", re.S)
+
+
+def _condition_true(expr: str) -> bool:
+    """First-branch heuristic: only a literal ``0`` is false."""
+    return expr.strip().split()[0:1] != ["0"]
+
+
+def _preprocess(source: str) -> tuple[list[str], dict[str, CDefine]]:
+    """Return (active lines with blanks holding positions, defines)."""
+    lines = source.split("\n")
+    kept = []
+    defines: dict[str, CDefine] = {}
+    # each level: [parent_active, some_branch_taken]
+    stack: list[list[bool]] = []
+    active = True
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        start = i
+        while line.rstrip().endswith("\\") and i + 1 < len(lines):
+            i += 1
+            line = line.rstrip()[:-1] + " " + lines[i]
+        m = _DIRECTIVE_RE.match(line)
+        if m:
+            directive, rest = m.group(1), m.group(2)
+            if directive in ("if", "ifdef", "ifndef"):
+                stack.append([active, False])
+                if active:
+                    taken = (directive != "if") or _condition_true(rest)
+                    active = taken
+                    stack[-1][1] = taken
+            elif directive in ("else", "elif") and stack:
+                parent_active, taken = stack[-1]
+                if not parent_active or taken:
+                    active = False
+                elif directive == "else" or _condition_true(rest):
+                    active = True
+                    stack[-1][1] = True
+            elif directive == "endif" and stack:
+                active = stack.pop()[0]
+            elif directive == "define" and active:
+                dm = _DEFINE_RE.match(rest.strip())
+                if dm and not dm.group(2):      # skip function-like macros
+                    name = dm.group(1)
+                    value = " ".join(dm.group(3).split())
+                    defines[name] = CDefine(name=name, value=value,
+                                            line=start + 1)
+            kept.extend([""] * (i - start + 1))
+        else:
+            kept.append(line if active else "")
+            kept.extend([""] * (i - start))
+        i += 1
+    return kept, defines
+
+
+# ----------------------------------------------------------------------
+# pass 3: tokenize the active text
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(r"""
+      [A-Za-z_]\w*
+    | 0[xX][0-9a-fA-F]+\w*
+    | \d+\.\d+[\w.]*
+    | \d+\w*
+    | \S
+""", re.X)
+
+
+def _tokenize(lines: list[str]) -> list[tuple[str, int]]:
+    tokens = []
+    for lineno, line in enumerate(lines, 1):
+        for m in _TOKEN_RE.finditer(line):
+            tokens.append((m.group(0), lineno))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# pass 4: extract typedefs, structs, enums from the token stream
+# ----------------------------------------------------------------------
+
+_QUALIFIERS = frozenset(("const", "volatile", "signed", "unsigned"))
+
+
+def _split_declarators(stmt: list[tuple[str, int]]) -> list[CField]:
+    """Parse one ``type a, *b, c[4];`` statement (``;`` not included)."""
+    segments: list[list[tuple[str, int]]] = [[]]
+    for tok in stmt:
+        if tok[0] == ",":
+            segments.append([])
+        else:
+            segments[-1].append(tok)
+    first = segments[0]
+    star = next((k for k, t in enumerate(first) if t[0] == "*"), None)
+    if star is not None:
+        type_words = [t for t, _ in first[:star]]
+    else:
+        idents = [k for k, t in enumerate(first)
+                  if re.match(r"[A-Za-z_]\w*$", t[0])]
+        if len(idents) < 2:
+            return []                           # not a member declaration
+        type_words = [t for t, _ in first[:idents[-1]]]
+    fields = []
+    for seg in segments:
+        pointer = any(t == "*" for t, _ in seg)
+        # the declarator name is the last identifier before any array
+        # suffix; the first segment additionally skips the type words
+        bracket = next((k for k, t in enumerate(seg) if t[0] == "["),
+                       len(seg))
+        candidates = [tok for tok in seg[:bracket]
+                      if re.match(r"[A-Za-z_]\w*$", tok[0])
+                      and tok[0] not in _QUALIFIERS]
+        if seg is first:
+            skip = sum(1 for w in type_words
+                       if w not in _QUALIFIERS
+                       and re.match(r"[A-Za-z_]\w*$", w))
+            candidates = candidates[skip:]
+        if not candidates:
+            continue
+        name_tok = candidates[-1]
+        fields.append(CField(name=name_tok[0], base=" ".join(type_words),
+                             pointer=pointer, line=name_tok[1]))
+    return fields
+
+
+def _parse_struct_body(tokens: list[tuple[str, int]], start: int,
+                       ) -> tuple[tuple[CField, ...], int]:
+    """Parse from the token after ``{`` to the matching ``}``."""
+    fields: list[CField] = []
+    stmt: list[tuple[str, int]] = []
+    i = start
+    while i < len(tokens):
+        text, _ = tokens[i]
+        if text == "}":
+            return tuple(fields), i + 1
+        if text == "{":                         # nested aggregate: skip
+            depth = 1
+            i += 1
+            while i < len(tokens) and depth:
+                depth += {"{": 1, "}": -1}.get(tokens[i][0], 0)
+                i += 1
+            stmt = []
+            continue
+        if text == ";":
+            if stmt:
+                fields.extend(_split_declarators(stmt))
+            stmt = []
+        else:
+            stmt.append(tokens[i])
+        i += 1
+    return tuple(fields), i
+
+
+def _parse_enum_body(tokens: list[tuple[str, int]], start: int,
+                     ) -> tuple[tuple[tuple[str, int | None], ...],
+                                tuple[int, ...], int]:
+    members: list[tuple[str, int | None]] = []
+    lines: list[int] = []
+    next_value: int | None = 0
+    i = start
+    while i < len(tokens) and tokens[i][0] != "}":
+        name, line = tokens[i]
+        i += 1
+        value = next_value
+        if i < len(tokens) and tokens[i][0] == "=":
+            i += 1
+            expr = []
+            while i < len(tokens) and tokens[i][0] not in (",", "}"):
+                expr.append(tokens[i][0])
+                i += 1
+            if len(expr) == 1:
+                try:
+                    value = int(_INT_SUFFIX_RE.sub("", expr[0]), 0)
+                except ValueError:
+                    value = None
+            else:
+                value = None
+        members.append((name, value))
+        lines.append(line)
+        next_value = None if value is None else value + 1
+        if i < len(tokens) and tokens[i][0] == ",":
+            i += 1
+    return tuple(members), tuple(lines), i + 1
+
+
+def parse_c(source: str) -> CUnit:
+    """Parse one C source text into its declaration surface."""
+    lines, defines = _preprocess(_blank_comments(source))
+    tokens = _tokenize(lines)
+    unit = CUnit(defines=defines)
+    i = 0
+    n = len(tokens)
+    while i < n:
+        text, line = tokens[i]
+        if text == "typedef":
+            j = i + 1
+            kind = tokens[j][0] if j < n else ""
+            if kind in ("struct", "enum") and j + 1 < n:
+                j += 1
+                tag = None
+                if re.match(r"[A-Za-z_]\w*$", tokens[j][0]):
+                    tag = tokens[j][0]
+                    j += 1
+                if j < n and tokens[j][0] == "{":
+                    if kind == "struct":
+                        fields, j = _parse_struct_body(tokens, j + 1)
+                        if j < n and re.match(r"[A-Za-z_]\w*$",
+                                              tokens[j][0]):
+                            unit.structs[tokens[j][0]] = CStruct(
+                                name=tokens[j][0], fields=fields, line=line)
+                    else:
+                        members, mlines, j = _parse_enum_body(tokens, j + 1)
+                        if j < n and re.match(r"[A-Za-z_]\w*$",
+                                              tokens[j][0]):
+                            unit.enums[tokens[j][0]] = CEnum(
+                                name=tokens[j][0], members=members,
+                                line=line, member_lines=mlines)
+                    i = j
+                elif tag is not None:           # typedef struct X X2;
+                    i = j
+            else:
+                # scalar typedef: words... name ;
+                words = []
+                while j < n and tokens[j][0] != ";":
+                    words.append(tokens[j][0])
+                    j += 1
+                if len(words) >= 2 and "*" not in words:
+                    unit.typedefs[words[-1]] = " ".join(words[:-1])
+                i = j
+        elif text in ("struct", "enum") and i + 2 < n \
+                and re.match(r"[A-Za-z_]\w*$", tokens[i + 1][0]) \
+                and tokens[i + 2][0] == "{":
+            tag = tokens[i + 1][0]
+            if text == "struct":
+                fields, j = _parse_struct_body(tokens, i + 3)
+                unit.structs[tag] = CStruct(name=tag, fields=fields,
+                                            line=line)
+            else:
+                members, mlines, j = _parse_enum_body(tokens, i + 3)
+                unit.enums[tag] = CEnum(name=tag, members=members,
+                                        line=line, member_lines=mlines)
+            i = j
+        i += 1
+    return unit

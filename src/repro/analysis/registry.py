@@ -71,6 +71,33 @@ def all_rules() -> dict[str, Rule]:
     return RULES
 
 
+#: Markers delimiting the generated catalog table in ``docs/linting.md``
+#: (the ``lint-docs`` rule keeps the enclosed text in sync).
+CATALOG_BEGIN = "<!-- rule-catalog:begin (generated: repro lint --catalog) -->"
+CATALOG_END = "<!-- rule-catalog:end -->"
+
+
+def rule_catalog_markdown() -> str:
+    """The auto-generated rule table for ``docs/linting.md``.
+
+    Deterministic (registration order, no timestamps) so the docs only
+    change when the catalog does; ``repro lint --catalog`` prints it
+    and the ``lint-docs`` rule diffs it against the committed docs.
+    """
+    lines = [
+        "| rule | severity | scope | enforces |",
+        "| --- | --- | --- | --- |",
+    ]
+    for r in all_rules().values():
+        scope = r.scope
+        if r.dirs:
+            scope += " — " + ", ".join(d.removeprefix("src/repro/")
+                                       for d in r.dirs)
+        lines.append(f"| `{r.id}` | {r.severity} | {scope} "
+                     f"| {r.description} |")
+    return "\n".join(lines)
+
+
 def select_rules(rule_ids: Iterable[str] | None = None) -> list[Rule]:
     """Resolve a rule-id selection (None = every registered rule)."""
     catalog = all_rules()

@@ -5,9 +5,14 @@ keys match, so a config field missing from the key is a silent
 wrong-result hazard (job A's stats resurface for a semantically
 different job B).  Two checks:
 
-* **SweepJob coverage (AST)** — every dataclass field of ``SweepJob``
-  must be read as ``self.<field>`` inside ``cache_key`` (axes applied
-  via ``config.with_`` ride on the config hash).  ``tags`` is the one
+* **SweepJob coverage (interprocedural AST)** — every dataclass field
+  of ``SweepJob`` must be read as ``self.<field>`` somewhere in
+  ``cache_key``'s *call tree*: the method itself, any ``self.helper()``
+  it calls transitively, or any module-level helper the job is passed
+  to (taint via :func:`repro.analysis.dataflow.
+  transitive_self_attribute_loads`, so refactoring the key payload
+  into helpers cannot produce false positives).  Axes applied via
+  ``config.with_`` ride on the config hash.  ``tags`` is the one
   documented exemption: caller-owned display labels, never semantic.
   ``engine`` must be *referenced* but deliberately maps through
   :func:`repro.accel.engine.engine_cache_token`, so verified-equivalent
@@ -31,8 +36,8 @@ from repro.analysis.astutils import (
     dataclass_field_names,
     find_class,
     find_method,
-    self_attribute_loads,
 )
+from repro.analysis.dataflow import transitive_self_attribute_loads
 from repro.analysis.registry import rule
 
 _JOBS_PATH = "src/repro/sweep/jobs.py"
@@ -72,16 +77,18 @@ def _check_sweepjob(project):
         yield ctx.finding(cls.lineno, "SweepJob has no cache_key method",
                           symbol="missing-cache_key")
         return
-    referenced = self_attribute_loads(method)
+    referenced = transitive_self_attribute_loads(ctx.tree, cls, method)
     for name, lineno in dataclass_field_names(cls):
         if name in EXEMPT_SWEEPJOB_FIELDS or name in referenced:
             continue
         yield ctx.finding(
             lineno,
-            f"SweepJob field {name!r} never reaches cache_key — two jobs "
-            f"differing only in {name!r} would alias one cache entry; "
-            f"add it to the key payload (or document the exemption in "
-            f"the cache-key rule)",
+            f"SweepJob field {name!r} never reaches cache_key (searched "
+            f"the whole call tree: helper methods and module-level "
+            f"helpers the job is passed to) — two jobs differing only "
+            f"in {name!r} would alias one cache entry; add it to the "
+            f"key payload (or document the exemption in the cache-key "
+            f"rule)",
             symbol=f"SweepJob.{name}")
 
 

@@ -108,6 +108,58 @@ def check_cli_docs(project):
 
 
 # ----------------------------------------------------------------------
+# lint-docs — docs/linting.md carries the current generated catalog
+# ----------------------------------------------------------------------
+
+_LINTING_DOCS_PATH = "docs/linting.md"
+
+
+@rule("lint-docs", scope="project", description=(
+    "docs/linting.md must embed the current generated rule catalog "
+    "between the rule-catalog markers (refresh with "
+    "`repro lint --catalog`)"))
+def check_lint_docs(project):
+    from repro.analysis.registry import (
+        CATALOG_BEGIN,
+        CATALOG_END,
+        rule_catalog_markdown,
+    )
+
+    doc_path = project.root / _LINTING_DOCS_PATH
+    try:
+        text = doc_path.read_text(encoding="utf-8")
+    except OSError:
+        # fixture repos legitimately have no docs tree; only a repo
+        # that *has* linting docs must keep them current
+        return
+    if CATALOG_BEGIN not in text or CATALOG_END not in text:
+        yield project.finding(
+            _LINTING_DOCS_PATH, 0,
+            f"docs/linting.md has no rule-catalog markers; add "
+            f"{CATALOG_BEGIN!r} ... {CATALOG_END!r} and paste the "
+            f"output of `repro lint --catalog` between them",
+            symbol="catalog-markers")
+        return
+    begin = text.index(CATALOG_BEGIN) + len(CATALOG_BEGIN)
+    end = text.index(CATALOG_END)
+    if end < begin:
+        yield project.finding(_LINTING_DOCS_PATH, 0,
+                              "rule-catalog markers are out of order",
+                              symbol="catalog-markers")
+        return
+    committed = text[begin:end].strip()
+    current = rule_catalog_markdown().strip()
+    if committed != current:
+        line = text[:begin].count("\n") + 1
+        yield project.finding(
+            _LINTING_DOCS_PATH, line,
+            "the generated rule catalog in docs/linting.md is out of "
+            "date; re-run `repro lint --catalog` and replace the text "
+            "between the markers",
+            symbol="catalog-drift")
+
+
+# ----------------------------------------------------------------------
 # bench-history — the committed BENCH trajectory file
 # ----------------------------------------------------------------------
 

@@ -12,6 +12,12 @@ it.  Fixes, in preference order: make it per-instance; freeze it
 it with a justification naming the discipline that keeps it safe (the
 ``FFWD_TELEMETRY`` entry is the worked example — its discipline is
 enforced by the ``telemetry-reset`` rule).
+
+Each finding carries *mutation-site evidence* from the dataflow layer:
+which functions in the module actually write the container and how.  A
+binding nothing mutates reads as "(no in-module mutation sites — "
+"likely freezable)", which is the one-line triage hint: those fixes
+are a type change, not a redesign.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from repro.analysis.astutils import (
     is_mutable_container,
     module_level_statements,
 )
+from repro.analysis.dataflow import module_global_mutations
 from repro.analysis.registry import rule
 
 #: The simulation core: every byte of state here feeds cycle counts.
@@ -37,15 +44,38 @@ _EXEMPT_NAMES = frozenset({"__all__"})
     "module- or class-scope mutable container in the simulation core "
     "(shared across simulator instances — the PR 3 backend.py bug class)"))
 def check(ctx):
+    mutations = _mutation_sites(ctx)
     for stmt in module_level_statements(ctx.tree):
-        yield from _bindings(ctx, stmt, qualifier="")
+        yield from _bindings(ctx, stmt, mutations, qualifier="")
         if isinstance(stmt, ast.ClassDef):
             for class_stmt in stmt.body:
-                yield from _bindings(ctx, class_stmt,
+                yield from _bindings(ctx, class_stmt, mutations,
                                      qualifier=f"{stmt.name}.")
 
 
-def _bindings(ctx, stmt, qualifier):
+def _mutation_sites(ctx):
+    """``{name: [Mutation, ...]}`` for module-level names, site order."""
+    sites = {}
+    for mutation in module_global_mutations(ctx):
+        sites.setdefault(mutation.name, []).append(mutation)
+    return sites
+
+
+def _evidence(name, mutations, qualifier):
+    if qualifier:
+        # class attributes are written through the class or instance,
+        # which the module-global pass deliberately does not model
+        return ""
+    sites = mutations.get(name, ())
+    if not sites:
+        return " (no in-module mutation sites — likely freezable)"
+    shown = ", ".join(f"{m.function}() at line {m.line} [{m.how}]"
+                      for m in sites[:3])
+    more = f" and {len(sites) - 3} more" if len(sites) > 3 else ""
+    return f" (mutated by {shown}{more})"
+
+
+def _bindings(ctx, stmt, mutations, qualifier):
     for name, value, lineno in assign_targets(stmt):
         if value is None or name in _EXEMPT_NAMES:
             continue
@@ -59,5 +89,6 @@ def _bindings(ctx, stmt, qualifier):
             f"{where}-level mutable {kind} {symbol!r} is shared across "
             f"every simulator in the process; make it per-instance, "
             f"freeze it (tuple/frozenset/MappingProxyType), or baseline "
-            f"it with the discipline that keeps it safe",
+            f"it with the discipline that keeps it safe"
+            + _evidence(name, mutations, qualifier),
             symbol=symbol)

@@ -9,6 +9,10 @@ unjustified baseline entries so the grandfather file only ever shrinks.
 Exit-code contract (the CI gate): active **error** findings fail;
 **warning** findings are advisory unless ``strict``; a clean tree with
 a fully-justified baseline exits 0.
+
+Module-scope rules replay from the per-file incremental cache
+(:mod:`repro.analysis.cache`) when the file and the analyzer itself are
+unchanged; project-scope rules re-run every time.
 """
 
 from __future__ import annotations
@@ -39,6 +43,11 @@ class LintReport:
     stale_baseline: list[BaselineEntry] = field(default_factory=list)
     unjustified: list[BaselineEntry] = field(default_factory=list)
     suppressed_inline: int = 0
+    # --update-baseline diff (empty unless an update ran this invocation)
+    baseline_added: list[BaselineEntry] = field(default_factory=list)
+    baseline_removed: list[BaselineEntry] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def errors(self) -> list[Finding]:
@@ -69,6 +78,9 @@ class LintReport:
             "stale_baseline": [e.to_dict() for e in self.stale_baseline],
             "unjustified_baseline": [e.to_dict() for e in self.unjustified],
             "suppressed_inline": self.suppressed_inline,
+            "baseline_added": [e.to_dict() for e in self.baseline_added],
+            "baseline_removed": [e.to_dict() for e in self.baseline_removed],
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
         }
 
 
@@ -82,22 +94,37 @@ def _stamp(finding: Finding, rule: Rule) -> Finding:
 
 
 def run_rules(root: str | Path, rule_ids: list[str] | None = None,
-              project: Project | None = None) -> tuple[list[Finding], list[str]]:
+              project: Project | None = None,
+              cache=None) -> tuple[list[Finding], list[str]]:
     """Run rules and return (raw findings, rule ids run).
 
     Inline-allow suppression and the baseline are applied by
     :func:`lint`; this layer reports everything, which is what
     ``--update-baseline`` and the fixture tests want.
+
+    ``cache`` (an :class:`repro.analysis.cache.AnalysisCache`) replays
+    module-scope results for unchanged files; project-scope rules are
+    never cached (they read across files).
     """
     project = project if project is not None else Project(root)
     rules = select_rules(rule_ids)
     findings: list[Finding] = []
     syntax_seen: set[str] = set()
+    digests: dict[str, str] = {}
     for rule in rules:
         if rule.scope == "project":
             findings.extend(_stamp(f, rule) for f in rule.check(project))
             continue
         for ctx in project.modules(under=rule.dirs):
+            if cache is not None:
+                digest = digests.get(ctx.relpath)
+                if digest is None:
+                    from repro.analysis.cache import content_digest
+                    digest = digests[ctx.relpath] = content_digest(ctx.source)
+                hit = cache.lookup(ctx.relpath, digest, rule.id)
+                if hit is not None:
+                    findings.extend(hit)
+                    continue
             try:
                 ctx.tree
             except SyntaxError as exc:
@@ -108,13 +135,18 @@ def run_rules(root: str | Path, rule_ids: list[str] | None = None,
                         message=f"syntax error: {exc.msg}",
                         symbol="syntax", rule="syntax", severity="error"))
                 continue
-            findings.extend(_stamp(f, rule) for f in rule.check(ctx))
+            produced = [_stamp(f, rule) for f in rule.check(ctx)]
+            findings.extend(produced)
+            if cache is not None:
+                cache.store(ctx.relpath, digests[ctx.relpath], rule.id,
+                            produced)
     return findings, [r.id for r in rules]
 
 
 def lint(root: str | Path, rule_ids: list[str] | None = None,
          baseline_path: str | Path | None = None,
-         update_baseline: bool = False) -> LintReport:
+         update_baseline: bool = False,
+         use_cache: bool = True) -> LintReport:
     """The full pipeline behind ``repro lint``."""
     root = Path(root).resolve()
     project = Project(root)
@@ -122,7 +154,14 @@ def lint(root: str | Path, rule_ids: list[str] | None = None,
                      else root / BASELINE_NAME)
     baseline = Baseline.load(baseline_path)
 
-    raw, rules_run = run_rules(root, rule_ids, project=project)
+    cache = None
+    if use_cache:
+        from repro.analysis.cache import AnalysisCache
+        cache = AnalysisCache.load(root)
+
+    raw, rules_run = run_rules(root, rule_ids, project=project, cache=cache)
+    if cache is not None:
+        cache.save()
 
     visible: list[Finding] = []
     suppressed_inline = 0
@@ -132,6 +171,8 @@ def lint(root: str | Path, rule_ids: list[str] | None = None,
         else:
             visible.append(finding)
 
+    baseline_added: list[BaselineEntry] = []
+    baseline_removed: list[BaselineEntry] = []
     if update_baseline:
         new_baseline = Baseline.from_findings(visible, previous=baseline)
         if rule_ids is not None:
@@ -140,6 +181,12 @@ def lint(root: str | Path, rule_ids: list[str] | None = None,
             new_baseline = Baseline(
                 new_baseline.entries
                 + [e for e in baseline.entries if e.rule not in ran])
+        old_keys = {e.key() for e in baseline.entries}
+        new_keys = {e.key() for e in new_baseline.entries}
+        baseline_added = [e for e in new_baseline.entries
+                          if e.key() not in old_keys]
+        baseline_removed = [e for e in baseline.entries
+                            if e.key() not in new_keys]
         new_baseline.save(baseline_path)
         baseline = new_baseline
 
@@ -169,7 +216,11 @@ def lint(root: str | Path, rule_ids: list[str] | None = None,
     return LintReport(root=str(root), rules_run=rules_run, findings=active,
                       baselined=baselined, stale_baseline=stale,
                       unjustified=unjustified,
-                      suppressed_inline=suppressed_inline)
+                      suppressed_inline=suppressed_inline,
+                      baseline_added=baseline_added,
+                      baseline_removed=baseline_removed,
+                      cache_hits=cache.hits if cache is not None else 0,
+                      cache_misses=cache.misses if cache is not None else 0)
 
 
 # ----------------------------------------------------------------------
@@ -193,6 +244,17 @@ def format_text(report: LintReport, verbose: bool = False) -> str:
             f"{BASELINE_NAME}: warning: baseline entry [{entry.rule}] "
             f"{entry.path} :: {entry.symbol} has no real justification — "
             f"explain why it is suppressed")
+    for entry in report.baseline_added:
+        lines.append(f"{BASELINE_NAME}: added [{entry.rule}] {entry.path} "
+                     f":: {entry.symbol} — replace the TODO justification "
+                     f"with a real sentence")
+    for entry in report.baseline_removed:
+        lines.append(f"{BASELINE_NAME}: removed [{entry.rule}] {entry.path} "
+                     f":: {entry.symbol} — the finding is gone")
+    if report.baseline_added or report.baseline_removed:
+        lines.append(f"{BASELINE_NAME}: updated "
+                     f"(+{len(report.baseline_added)} "
+                     f"-{len(report.baseline_removed)})")
     errors, warnings = report.errors, report.warnings
     lines.append(
         f"repro lint: {len(report.rules_run)} rule(s) over {report.root}: "

@@ -1,0 +1,98 @@
+"""SARIF 2.1.0 export for ``repro lint``.
+
+SARIF (Static Analysis Results Interchange Format) is what code-hosting
+CI understands natively — GitHub's ``upload-sarif`` action turns each
+result into an annotation on the offending line.  The mapping is
+deliberately minimal and lossless for our model:
+
+* every active finding → a ``result`` with ``level`` = severity;
+* every **baselined** finding → a ``result`` carrying a ``suppressions``
+  entry (``kind: external``) whose justification is the baseline
+  sentence, so suppressed findings stay *visible* in CI instead of
+  silently vanishing;
+* file- or project-level findings (``line == 0``) omit the ``region``
+  entirely — SARIF regions are 1-based and a fake line 1 would pin an
+  annotation to an innocent line of code;
+* the rule catalog rides along under ``tool.driver.rules`` with each
+  rule's one-line description, so viewers can show help text without
+  access to this repository.
+"""
+
+from __future__ import annotations
+
+import json
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_TOOL_NAME = "repro-lint"
+
+
+def _rule_descriptor(rule_id: str) -> dict:
+    from repro.analysis.registry import all_rules
+    rule = all_rules().get(rule_id)
+    descriptor: dict = {"id": rule_id}
+    if rule is not None:
+        descriptor["shortDescription"] = {"text": rule.description}
+        descriptor["defaultConfiguration"] = {"level": rule.severity}
+    return descriptor
+
+
+def _location(finding) -> dict:
+    physical: dict = {
+        "artifactLocation": {"uri": finding.path, "uriBaseId": "SRCROOT"},
+    }
+    if finding.line > 0:
+        physical["region"] = {"startLine": finding.line}
+    return {"physicalLocation": physical}
+
+
+def _result(finding, suppression_justification: str | None = None) -> dict:
+    result: dict = {
+        "ruleId": finding.rule,
+        "level": finding.severity if finding.severity else "error",
+        "message": {"text": finding.message},
+        "locations": [_location(finding)],
+    }
+    if finding.symbol:
+        # stable identity for CI result-matching across commits, the
+        # same key the baseline uses (line numbers excluded on purpose)
+        result["partialFingerprints"] = {
+            "reproLintKey/v1": "::".join(finding.key()),
+        }
+    if suppression_justification is not None:
+        result["suppressions"] = [{
+            "kind": "external",
+            "justification": suppression_justification,
+        }]
+    return result
+
+
+def sarif_log(report) -> dict:
+    """The SARIF log object for one :class:`LintReport`."""
+    rule_ids = sorted({f.rule for f in report.findings}
+                      | {f.rule for f, _ in report.baselined}
+                      | set(report.rules_run))
+    results = [_result(f) for f in report.findings]
+    results += [_result(f, suppression_justification=e.justification or
+                        "baselined without justification")
+                for f, e in report.baselined]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": _TOOL_NAME,
+                "rules": [_rule_descriptor(rid) for rid in rule_ids],
+            }},
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": f"file://{report.root}/"},
+            },
+            "results": results,
+        }],
+    }
+
+
+def format_sarif(report) -> str:
+    return json.dumps(sarif_log(report), indent=2, sort_keys=True)

@@ -160,12 +160,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run only this rule (repeatable; default: all)")
     lnt.add_argument("--list-rules", action="store_true",
                      help="print the rule catalog and exit")
+    lnt.add_argument("--catalog", action="store_true",
+                     help="print the generated markdown rule catalog "
+                          "(paste into docs/linting.md) and exit")
     lnt.add_argument("--baseline", default=None, metavar="PATH",
                      help="baseline file (default: <root>/lint-baseline.json)")
     lnt.add_argument("--update-baseline", action="store_true",
                      help="rewrite the baseline to cover current findings "
                           "(new entries get a TODO justification)")
-    lnt.add_argument("--format", choices=["text", "json"], default="text")
+    lnt.add_argument("--format", choices=["text", "json", "sarif"],
+                     default="text")
+    lnt.add_argument("--no-cache", action="store_true",
+                     help="ignore and do not write the incremental "
+                          "result cache (.repro-lint-cache.json)")
     lnt.add_argument("--strict", action="store_true",
                      help="also fail on warnings, stale baseline entries "
                           "and TODO justifications")
@@ -571,15 +578,23 @@ def _cmd_lint(args) -> int:
         for rule in sorted(all_rules().values(), key=lambda r: r.id):
             print(f"{rule.id:22s} {rule.severity:8s} {rule.description}")
         return 0
+    if args.catalog:
+        from repro.analysis.registry import rule_catalog_markdown
+        print(rule_catalog_markdown())
+        return 0
     try:
         report = lint(args.root, rule_ids=args.rule,
                       baseline_path=args.baseline,
-                      update_baseline=args.update_baseline)
+                      update_baseline=args.update_baseline,
+                      use_cache=not args.no_cache)
     except ReproError as exc:
         print(f"lint failed: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
         print(format_json(report))
+    elif args.format == "sarif":
+        from repro.analysis.sarif import format_sarif
+        print(format_sarif(report))
     else:
         print(format_text(report, verbose=args.verbose))
     return report.exit_code(strict=args.strict)

@@ -1,0 +1,87 @@
+"""Atomic file writes for state shared across processes.
+
+Every file that more than one process may read or write concurrently —
+result-cache entries, the BENCH history, the lint baseline/cache — must
+be written with the same discipline: write the full payload to a
+temporary file in the *destination directory*, flush and fsync it, then
+``os.replace`` it over the target.  ``os.replace`` is atomic on POSIX
+and Windows when source and destination share a filesystem (which the
+same-directory temp file guarantees), so a reader can observe the old
+bytes or the new bytes but never a torn mixture, and two racing writers
+converge on one winner instead of interleaving.
+
+This module is the one blessed implementation; the ``fork-atomic-write``
+lint rule flags direct write-mode ``open``/``write_text`` calls in the
+sweep layer that bypass it.  It is also the first brick of the planned
+``repro serve`` shared-cache protocol (N workers, one cache dir —
+see ROADMAP.md).
+
+``append_line`` covers the append-only JSONL case (the BENCH history):
+a single ``write`` of one line on a file opened in append mode, which
+POSIX guarantees lands contiguously for regular files when the payload
+is below ``PIPE_BUF``-ish sizes — but the helper still routes through
+one place so the discipline (and any future locking) has a home.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text", "atomic_write_json", "append_line"]
+
+
+def atomic_write_text(path: str | os.PathLike, text: str, *,
+                      encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (temp + fsync + replace).
+
+    The parent directory is created if missing.  On any failure the
+    temporary file is removed and the destination is untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent,
+                               prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)       # atomic: racing writers converge
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str | os.PathLike, payload, *,
+                      indent: int | None = 2, sort_keys: bool = True,
+                      trailing_newline: bool = True) -> None:
+    """Serialize ``payload`` deterministically and write it atomically."""
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys)
+    if trailing_newline:
+        text += "\n"
+    atomic_write_text(path, text)
+
+
+def append_line(path: str | os.PathLike, line: str, *,
+                encoding: str = "utf-8") -> None:
+    """Append one line to a shared log file in a single write.
+
+    ``line`` must not itself contain a newline (one record per call —
+    the JSONL invariant); one is added.  The parent directory is
+    created if missing.
+    """
+    if "\n" in line:
+        raise ValueError("append_line writes exactly one record; "
+                         "the line must not contain a newline")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding=encoding) as fh:
+        fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())

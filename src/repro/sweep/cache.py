@@ -24,13 +24,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
 import repro
 from repro.accel.stats import SimStats
+from repro.sweep.atomic import atomic_write_json
 
 #: Source subpackages whose text participates in the code version.
 #: Orchestration layers (bench, sweep, cli) are deliberately excluded.
@@ -115,24 +115,15 @@ class ResultCache:
         return stats
 
     def put(self, key: str, stats: SimStats, provenance: dict | None = None) -> None:
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "key": key,
             "provenance": provenance or {},
             "stats": stats.to_dict(),
         }
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=1, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        # temp + fsync + replace: concurrent sweep workers sharing this
+        # cache dir converge on one winner, never a torn entry
+        atomic_write_json(self._path(key), payload, indent=1,
+                          trailing_newline=False)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -28,12 +28,15 @@ class TestRoundTrip:
         assert [f.symbol for f in report.findings] == ["CACHE"]
 
         # 2. --update-baseline grandfathers it (with a TODO placeholder)
+        #    and reports the diff it made
         report = lint(tmp_path, rule_ids=["module-state"],
                       update_baseline=True)
         assert report.exit_code() == 0
         assert report.findings == []
         assert [e.symbol for _, e in report.baselined] == ["CACHE"]
         assert [e.symbol for e in report.unjustified] == ["CACHE"]
+        assert [e.symbol for e in report.baseline_added] == ["CACHE"]
+        assert report.baseline_removed == []
         assert report.exit_code(strict=True) == 1    # TODO not a justification
 
         # 3. writing a real justification clears strict mode
@@ -54,8 +57,12 @@ class TestRoundTrip:
         assert report.exit_code() == 0
         assert report.exit_code(strict=True) == 1
 
-        # 5. --update-baseline shrinks the file back to empty
-        lint(tmp_path, rule_ids=["module-state"], update_baseline=True)
+        # 5. --update-baseline shrinks the file back to empty and
+        #    reports the removal
+        report = lint(tmp_path, rule_ids=["module-state"],
+                      update_baseline=True)
+        assert [e.symbol for e in report.baseline_removed] == ["CACHE"]
+        assert report.baseline_added == []
         assert json.loads(baseline_path.read_text())["entries"] == []
 
     def test_line_shifts_do_not_unsuppress(self, tmp_path):

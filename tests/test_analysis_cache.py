@@ -1,0 +1,99 @@
+"""Incremental-cache behaviour of ``repro lint``.
+
+The invariant under test: a cache replay is byte-identical to a cold
+run, and anything suspicious — edited file, edited analyzer (salt),
+corrupt cache file — silently degrades to a cold run.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis import lint
+from repro.analysis.cache import CACHE_NAME, analysis_salt
+
+
+def write(root: Path, relpath: str, source: str) -> None:
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+VIOLATION = """\
+    CACHE = {}
+
+
+    def remember(key, value):
+        CACHE[key] = value
+"""
+
+
+def test_warm_run_replays_identical_findings(tmp_path):
+    write(tmp_path, "src/repro/accel/bad.py", VIOLATION)
+    cold = lint(tmp_path, rule_ids=["module-state"])
+    assert (tmp_path / CACHE_NAME).exists()
+    warm = lint(tmp_path, rule_ids=["module-state"])
+    assert warm.cache_hits > 0 and warm.cache_misses == 0
+    assert [f.to_dict() for f in warm.findings] == \
+        [f.to_dict() for f in cold.findings]
+    # severity survived the round-trip (stamping happened before store)
+    assert warm.findings[0].severity == "error"
+
+
+def test_edited_file_is_recomputed(tmp_path):
+    write(tmp_path, "src/repro/accel/bad.py", VIOLATION)
+    lint(tmp_path, rule_ids=["module-state"])
+    write(tmp_path, "src/repro/accel/bad.py", "# comment\n" + textwrap.dedent(
+        VIOLATION))
+    warm = lint(tmp_path, rule_ids=["module-state"])
+    # the shifted line proves the finding came from a re-run, not replay
+    assert warm.findings[0].line == 2
+
+
+def test_clean_file_caches_empty_result(tmp_path):
+    write(tmp_path, "src/repro/accel/ok.py", "X = 1\n")
+    lint(tmp_path, rule_ids=["module-state"])
+    warm = lint(tmp_path, rule_ids=["module-state"])
+    assert warm.findings == []
+    assert warm.cache_hits > 0
+
+
+def test_salt_mismatch_degrades_to_cold_run(tmp_path):
+    write(tmp_path, "src/repro/accel/bad.py", VIOLATION)
+    lint(tmp_path, rule_ids=["module-state"])
+    payload = json.loads((tmp_path / CACHE_NAME).read_text())
+    payload["salt"] = "0" * 64
+    (tmp_path / CACHE_NAME).write_text(json.dumps(payload))
+    warm = lint(tmp_path, rule_ids=["module-state"])
+    assert warm.cache_hits == 0
+    assert len(warm.findings) == 1
+
+
+def test_corrupt_cache_file_degrades_to_cold_run(tmp_path):
+    write(tmp_path, "src/repro/accel/bad.py", VIOLATION)
+    (tmp_path / CACHE_NAME).write_text("{ not json")
+    report = lint(tmp_path, rule_ids=["module-state"])
+    assert len(report.findings) == 1
+    # and the broken file was replaced with a valid one
+    json.loads((tmp_path / CACHE_NAME).read_text())
+
+
+def test_no_cache_writes_nothing(tmp_path):
+    write(tmp_path, "src/repro/accel/bad.py", VIOLATION)
+    report = lint(tmp_path, rule_ids=["module-state"], use_cache=False)
+    assert len(report.findings) == 1
+    assert not (tmp_path / CACHE_NAME).exists()
+
+
+def test_salt_is_a_memoized_digest():
+    salt = analysis_salt()
+    assert len(salt) == 64
+    assert analysis_salt() is salt
+
+
+def test_unchanged_run_does_not_rewrite_cache(tmp_path):
+    write(tmp_path, "src/repro/accel/bad.py", VIOLATION)
+    lint(tmp_path, rule_ids=["module-state"])
+    before = (tmp_path / CACHE_NAME).stat().st_mtime_ns
+    lint(tmp_path, rule_ids=["module-state"])
+    assert (tmp_path / CACHE_NAME).stat().st_mtime_ns == before

@@ -1,0 +1,155 @@
+"""Hostile fixtures for the C declaration parser behind the seam rules."""
+
+import textwrap
+
+from repro.analysis.cparse import parse_c
+
+
+def parse(source):
+    return parse_c(textwrap.dedent(source))
+
+
+class TestDefines:
+    def test_plain_and_suffixed_literals(self):
+        u = parse("""
+            #define ABI 3
+            #define MAGIC 0x534F4131LL
+            #define NEG -1
+        """)
+        assert u.defines["ABI"].int_value() == 3
+        assert u.defines["MAGIC"].int_value() == 0x534F4131
+        assert u.defines["NEG"].int_value() == -1
+
+    def test_expression_value_is_not_an_int(self):
+        u = parse("#define TOTAL (A + B)\n")
+        assert u.defines["TOTAL"].int_value() is None
+        assert u.defines["TOTAL"].value == "(A + B)"
+
+    def test_function_like_macro_is_skipped(self):
+        u = parse("#define MAX(a, b) ((a) > (b) ? (a) : (b))\n")
+        assert "MAX" not in u.defines
+
+    def test_line_numbers_survive_comments(self):
+        u = parse("""
+            /* a comment
+               spanning lines */
+            #define AFTER 1
+        """)
+        assert u.defines["AFTER"].line == 4
+
+    def test_continuation_lines(self):
+        u = parse("#define LONG \\\n    42\n#define NEXT 7\n")
+        assert u.defines["LONG"].int_value() == 42
+        assert u.defines["NEXT"].int_value() == 7
+
+
+class TestStructs:
+    def test_typedef_struct_with_comments_inside_body(self):
+        u = parse("""
+            typedef long long i64;
+            typedef double f64;
+            typedef struct {
+                i64 magic;          /* guard */
+                // line comment between members
+                i64 n, m, w;
+                f64 scale;
+                const i64 *offsets;
+                f64 *payload;
+            } State;
+        """)
+        st = u.structs["State"]
+        assert [f.name for f in st.fields] == [
+            "magic", "n", "m", "w", "scale", "offsets", "payload"]
+        assert [f.kind for f in st.fields] == [
+            "i64", "i64", "i64", "i64", "f64", "i64*", "f64*"]
+        assert st.field("n").line == st.field("w").line
+        assert u.canonical_type("i64") == "long long"
+
+    def test_ifdef_inside_struct_takes_first_branch(self):
+        u = parse("""
+            struct S {
+                long long a;
+            #ifdef FANCY
+                long long fancy;
+            #else
+                long long plain;
+            #endif
+                long long z;
+            };
+        """)
+        assert [f.name for f in u.structs["S"].fields] == ["a", "fancy", "z"]
+
+    def test_if_zero_block_is_dead_and_else_activates(self):
+        u = parse("""
+            struct S {
+            #if 0
+                long long dead;
+            #else
+                long long live;
+            #endif
+            };
+        """)
+        assert [f.name for f in u.structs["S"].fields] == ["live"]
+
+    def test_array_members_and_multi_word_types(self):
+        u = parse("""
+            struct S {
+                unsigned long long big;
+                long long buf[16];
+                const double *rows[4];
+            };
+        """)
+        fields = {f.name: f for f in u.structs["S"].fields}
+        assert fields["big"].scalar == "unsigned long long"
+        assert fields["buf"].pointer is False
+        assert fields["rows"].pointer is True
+
+    def test_nested_aggregate_is_skipped_not_fatal(self):
+        u = parse("""
+            struct S {
+                long long before;
+                struct { long long x; } inner;
+                long long after;
+            };
+        """)
+        names = [f.name for f in u.structs["S"].fields]
+        assert "before" in names and "after" in names
+
+    def test_string_literal_cannot_hide_a_brace(self):
+        u = parse("""
+            static const char *banner = "struct Fake { int x; }";
+            struct Real { long long a; };
+        """)
+        assert list(u.structs) == ["Real"]
+
+
+class TestEnums:
+    def test_auto_increment_and_explicit_values(self):
+        u = parse("""
+            enum Slots { FIRST, SECOND, TENTH = 10, NEXT };
+        """)
+        assert u.enums["Slots"].members == (
+            ("FIRST", 0), ("SECOND", 1), ("TENTH", 10), ("NEXT", 11))
+
+    def test_typedef_enum_with_trailing_comma(self):
+        u = parse("""
+            typedef enum {
+                A = 1,
+                B,
+            } Kind;
+        """)
+        assert u.enums["Kind"].members == (("A", 1), ("B", 2))
+
+    def test_non_literal_initializer_poisons_successors(self):
+        u = parse("enum E { A = (1 << 2), B };\n")
+        assert u.enums["E"].members == (("A", None), ("B", None))
+
+    def test_member_lines_recorded(self):
+        u = parse("""
+            enum E {
+                ALPHA,
+                BETA,
+            };
+        """)
+        e = u.enums["E"]
+        assert e.member_lines[1] == e.member_lines[0] + 1

@@ -1,0 +1,114 @@
+"""SARIF 2.1.0 export and the ``--update-baseline`` diff summary."""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis import lint
+from repro.analysis.baseline import BaselineEntry
+from repro.analysis.findings import Finding
+from repro.analysis.runner import LintReport, format_text
+from repro.analysis.sarif import format_sarif, sarif_log
+
+
+def write(root: Path, relpath: str, source: str) -> None:
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def report_with(findings=(), baselined=()):
+    return LintReport(root="/fake/root", rules_run=["module-state"],
+                      findings=list(findings), baselined=list(baselined))
+
+
+FINDING = Finding(path="src/repro/accel/bad.py", line=7,
+                  message="shared mutable dict", symbol="CACHE",
+                  rule="module-state", severity="error")
+
+
+class TestSarif:
+    def test_log_shape_and_result_fields(self):
+        log = sarif_log(report_with([FINDING]))
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        (result,) = run["results"]
+        assert result["ruleId"] == "module-state"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == \
+            "src/repro/accel/bad.py"
+        assert location["region"] == {"startLine": 7}
+        assert "suppressions" not in result
+
+    def test_project_level_finding_omits_region(self):
+        finding = Finding(path="src/repro/sweep/jobs.py", line=0,
+                          message="module missing", symbol="missing-jobs",
+                          rule="cache-key", severity="error")
+        (result,) = sarif_log(report_with([finding]))["runs"][0]["results"]
+        assert "region" not in result["locations"][0]["physicalLocation"]
+
+    def test_baselined_finding_becomes_suppression(self):
+        entry = BaselineEntry(rule="module-state",
+                              path="src/repro/accel/bad.py",
+                              symbol="CACHE",
+                              justification="guarded by a reset hook")
+        log = sarif_log(report_with(baselined=[(FINDING, entry)]))
+        (result,) = log["runs"][0]["results"]
+        (suppression,) = result["suppressions"]
+        assert suppression["kind"] == "external"
+        assert suppression["justification"] == "guarded by a reset hook"
+
+    def test_rule_catalog_carries_descriptions(self):
+        run = sarif_log(report_with([FINDING]))["runs"][0]
+        by_id = {r["id"]: r for r in run["tool"]["driver"]["rules"]}
+        descriptor = by_id["module-state"]
+        assert descriptor["shortDescription"]["text"]
+        assert descriptor["defaultConfiguration"]["level"] == "error"
+
+    def test_fingerprint_matches_baseline_key(self):
+        (result,) = sarif_log(report_with([FINDING]))["runs"][0]["results"]
+        assert result["partialFingerprints"]["reproLintKey/v1"] == \
+            "module-state::src/repro/accel/bad.py::CACHE"
+
+    def test_format_is_valid_deterministic_json(self):
+        text = format_sarif(report_with([FINDING]))
+        assert json.loads(text)["runs"]
+        assert text == format_sarif(report_with([FINDING]))
+
+    def test_real_project_export_parses(self, tmp_path):
+        write(tmp_path, "src/repro/accel/bad.py", """\
+            SINKS = []
+        """)
+        report = lint(tmp_path, rule_ids=["module-state"], use_cache=False)
+        log = json.loads(format_sarif(report))
+        (result,) = log["runs"][0]["results"]
+        assert result["ruleId"] == "module-state"
+
+
+class TestBaselineDiff:
+    def test_update_reports_added_then_removed(self, tmp_path):
+        write(tmp_path, "src/repro/accel/bad.py", "SINKS = []\n")
+        first = lint(tmp_path, rule_ids=["module-state"],
+                     update_baseline=True, use_cache=False)
+        assert [e.symbol for e in first.baseline_added] == ["SINKS"]
+        assert first.baseline_removed == []
+        text = format_text(first)
+        assert "added [module-state]" in text
+        assert "(+1 -0)" in text
+
+        write(tmp_path, "src/repro/accel/bad.py", "SINKS = ()\n")
+        second = lint(tmp_path, rule_ids=["module-state"],
+                      update_baseline=True, use_cache=False)
+        assert second.baseline_added == []
+        assert [e.symbol for e in second.baseline_removed] == ["SINKS"]
+        assert "(+0 -1)" in format_text(second)
+
+    def test_plain_run_reports_no_diff(self, tmp_path):
+        write(tmp_path, "src/repro/accel/bad.py", "SINKS = []\n")
+        report = lint(tmp_path, rule_ids=["module-state"], use_cache=False)
+        assert report.baseline_added == []
+        assert report.baseline_removed == []
+        assert "updated" not in format_text(report)

@@ -30,8 +30,11 @@ class TestSelfLint:
         for rule_id in ("module-state", "set-iteration", "id-key",
                         "nondeterministic-call", "cache-key",
                         "telemetry-reset", "engine-compat", "engine-seam",
-                        "exception-hygiene", "no-bytecode", "cli-docs",
-                        "bench-history"):
+                        "engine-registry", "c-seam-layout",
+                        "c-seam-counters", "c-seam-kernels",
+                        "fork-shared-state", "fork-atomic-write",
+                        "fork-capture", "exception-hygiene", "no-bytecode",
+                        "cli-docs", "lint-docs", "bench-history"):
             assert rule_id in out
 
     def test_bad_input_exits_2_with_one_liner(self, capsys):
