@@ -15,6 +15,8 @@
 #   ci.sh docs       docs/cli.md vs `repro --help` consistency check
 #   ci.sh sweep      cold+warm smoke sweep (executor + result cache)
 #   ci.sh report     cold/warm report regeneration (zero sims, same bytes)
+#   ci.sh serve      warm-cache daemon smoke (sweep over the socket,
+#                    zero sims on resubmission, clean remote shutdown)
 #   ci.sh perf       perf-probe smoke (BENCH record + cycle-exactness)
 #                    followed by the bench-history schema/trajectory check
 #
@@ -39,7 +41,7 @@ trap cleanup EXIT
 ci_mktemp_d() { local d; d="$(mktemp -d)"; CI_TMP_DIRS+=("$d"); echo "$d"; }
 
 stage_lint() {
-    echo "== repro lint (contract & determinism analyzer, 20 rules) =="
+    echo "== repro lint (contract & determinism analyzer, 21 rules) =="
     # hard gate: any non-baselined finding fails the build; --no-cache
     # so CI always measures the cold path
     python -m repro lint --no-cache
@@ -121,6 +123,52 @@ stage_report() {
     cmp /tmp/ci-report-cold.md "$report_dir/REPORT.md"
 }
 
+stage_serve() {
+    echo "== serve smoke (daemon start, warm resubmission, shutdown) =="
+    local serve_dir sock daemon_pid
+    serve_dir="$(ci_mktemp_d)"
+    sock="$serve_dir/d.sock"
+    python -m repro serve --socket "$sock" --cache-dir "$serve_dir/cache" \
+        --jobs 2 > /tmp/ci-serve-daemon.txt 2>&1 &
+    daemon_pid=$!
+    for _ in $(seq 1 100); do
+        [ -S "$sock" ] && break
+        if ! kill -0 "$daemon_pid" 2>/dev/null; then
+            echo "serve daemon died during startup:" >&2
+            cat /tmp/ci-serve-daemon.txt >&2
+            return 1
+        fi
+        sleep 0.1
+    done
+    [ -S "$sock" ]
+
+    echo "-- cold sweep through the daemon --"
+    python -m repro sweep --datasets VT --scale 0.03 --algorithms BFS,PR \
+        --connect "$sock" | tee /tmp/ci-serve-cold.txt
+    grep -q "cache hits: 0" /tmp/ci-serve-cold.txt
+
+    echo "-- warm resubmission: zero simulations --"
+    python -m repro sweep --datasets VT --scale 0.03 --algorithms BFS,PR \
+        --connect "$sock" | tee /tmp/ci-serve-warm.txt
+    grep -q "executed: 0" /tmp/ci-serve-warm.txt
+    grep -q "cache hits: 6 (100%)" /tmp/ci-serve-warm.txt
+
+    # identical tables regardless of which side of the socket simulated
+    diff <(sed '/^jobs:/d' /tmp/ci-serve-cold.txt) \
+         <(sed '/^jobs:/d' /tmp/ci-serve-warm.txt)
+
+    echo "-- graceful remote shutdown --"
+    python - "$sock" <<'EOF'
+import sys
+from repro.serve.client import ServeClient
+client = ServeClient(sys.argv[1])
+assert client.ping().protocol == 1
+client.shutdown()
+EOF
+    wait "$daemon_pid"
+    [ ! -S "$sock" ]
+}
+
 stage_perf() {
     echo "== engine perf probe (quick: BENCH record + cycle-exactness) =="
     local bench_dir
@@ -138,7 +186,7 @@ stage_perf() {
 }
 
 usage() {
-    sed -n '2,21p' "$0"
+    sed -n '2,23p' "$0"
     exit 2
 }
 
@@ -156,10 +204,11 @@ for stage in "${stages[@]}"; do
         docs)     stage_docs ;;
         sweep)    stage_sweep ;;
         report)   stage_report ;;
+        serve)    stage_serve ;;
         perf)     stage_perf ;;
         all)      stage_lint; stage_lint_sarif; stage_tests;
                   stage_coverage; stage_fuzz; stage_docs; stage_sweep;
-                  stage_report; stage_perf ;;
+                  stage_report; stage_serve; stage_perf ;;
         -h|--help) usage ;;
         *) echo "ci.sh: unknown stage '$stage'" >&2; usage ;;
     esac

@@ -21,9 +21,26 @@ Layers, bottom-up:
   across worker processes and caches results on disk (docs/sweep.md).
 * :mod:`repro.bench` — the experiment harness regenerating every figure
   and table of the paper's evaluation, built on the sweep engine.
+* :mod:`repro.serve` — the warm-cache simulation service: a resident
+  daemon executing sweeps/reports over a unix socket (docs/serving.md).
+* :mod:`repro.api` — the public :class:`~repro.api.Session` facade
+  (local or remote) every front end goes through.
+
+Public surface
+--------------
+The supported top-level names are exactly :data:`PACKAGE_EXPORTS` plus
+the error types — everything else under ``repro.*`` is implementation
+that may change without notice.  Exports resolve lazily (PEP 562), so
+``import repro`` stays cheap; a handful of legacy top-level spellings
+keep working through deprecation shims that point at the replacement.
+The ``api-surface`` lint rule holds this module to that manifest.
 """
 
-__version__ = "1.0.0"
+import importlib
+import warnings
+from types import MappingProxyType
+
+__version__ = "1.1.0"
 
 from repro.errors import (
     CapacityError,
@@ -31,13 +48,46 @@ from repro.errors import (
     FifoOverflowError,
     GenerationError,
     GraphFormatError,
+    ProtocolError,
+    ProtocolVersionError,
     ReproError,
+    ServeError,
     SimulationError,
     SweepError,
 )
 
+#: The supported public surface: exported name -> defining module.
+#: Frozen on purpose — growing the API is a reviewed change to this
+#: manifest (and to its tests), never a side effect of an import.
+PACKAGE_EXPORTS: "MappingProxyType[str, str]" = MappingProxyType({
+    # the Session facade (repro.api)
+    "Session": "repro.api",
+    "LocalSession": "repro.api",
+    "RemoteSession": "repro.api",
+    "session": "repro.api",
+    # the serve daemon's client (repro.serve)
+    "ServeClient": "repro.serve.client",
+    # job planning / results vocabulary the facade speaks
+    "SweepJob": "repro.sweep.jobs",
+    "GraphSpec": "repro.sweep.jobs",
+    "SweepOutcome": "repro.sweep.executor",
+    "AcceleratorConfig": "repro.accel.config",
+    "SimStats": "repro.accel.stats",
+})
+
+#: Legacy top-level spellings: name -> (defining module, replacement).
+#: Access works but warns; the lint rule forbids in-repo use.
+_DEPRECATED_EXPORTS: "MappingProxyType[str, tuple[str, str]]" = MappingProxyType({
+    "run_sweep": ("repro.sweep.executor",
+                  "repro.session(...).sweep(jobs) or repro.sweep.run_sweep"),
+    "ResultCache": ("repro.sweep.cache",
+                    "repro.session(cache_dir=...) or repro.sweep.ResultCache"),
+    "code_version": ("repro.sweep.cache", "repro.sweep.code_version"),
+})
+
 __all__ = [
     "__version__",
+    "PACKAGE_EXPORTS",
     "ReproError",
     "GraphFormatError",
     "GenerationError",
@@ -46,4 +96,30 @@ __all__ = [
     "SimulationError",
     "FifoOverflowError",
     "SweepError",
+    "ProtocolError",
+    "ProtocolVersionError",
+    "ServeError",
+    *PACKAGE_EXPORTS,
 ]
+
+
+def __getattr__(name: str):
+    """PEP 562 lazy exports driven by the manifests above."""
+    target = PACKAGE_EXPORTS.get(name)
+    if target is not None:
+        value = getattr(importlib.import_module(target), name)
+        globals()[name] = value          # resolve once per process
+        return value
+    deprecated = _DEPRECATED_EXPORTS.get(name)
+    if deprecated is not None:
+        module, replacement = deprecated
+        warnings.warn(
+            f"repro.{name} is deprecated; use {replacement}",
+            DeprecationWarning, stacklevel=2)
+        return getattr(importlib.import_module(module), name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(PACKAGE_EXPORTS)
+                  | set(_DEPRECATED_EXPORTS))

@@ -14,6 +14,10 @@ One module per concern, mirroring the invariants they guard:
 ``compat.py``      the ``accel/engine`` re-export surface covers the
                    pre-split monolith; subnetworks implement the
                    tick/arb_key/restore_arb/counter_sites seam
+``apisurface.py``  the package root exports exactly its frozen
+                   ``PACKAGE_EXPORTS`` manifest (PEP 562 lazy surface,
+                   deprecation shims out of ``__all__`` and unused
+                   in-repo)
 ``exceptions.py``  no bare/broad excepts in engine code; raised errors
                    derive from :mod:`repro.errors`
 ``repo.py``        refolded repo guards: tracked bytecode, docs/cli.md
@@ -28,6 +32,7 @@ One module per concern, mirroring the invariants they guard:
 """
 
 from repro.analysis.rules import (  # noqa: F401  (registration side effects)
+    apisurface,
     cachekey,
     compat,
     cseam,

@@ -1,0 +1,206 @@
+"""The public-API manifest of the package root (``repro/__init__.py``).
+
+The Session-facade redesign froze the top-level surface into an
+explicit ``PACKAGE_EXPORTS`` manifest (name -> defining module),
+resolved lazily via PEP 562, with legacy spellings demoted to
+deprecation shims in ``_DEPRECATED_EXPORTS``.  The ``api-surface``
+rule holds the package root to that design:
+
+* every manifest name must be listed in ``__all__`` and must actually
+  exist in its declared module — a typo'd manifest entry would
+  otherwise surface as an ``AttributeError`` at first use, not at lint
+  time;
+* manifest names must **not** also be bound eagerly at module level
+  (an eager binding shadows ``__getattr__`` and lets the manifest
+  drift from what's actually exported);
+* deprecated names stay out of ``__all__`` (star-imports must not
+  resurrect them) and their shim targets must resolve too;
+* the module must define ``__getattr__``/``__dir__`` — removing the
+  PEP 562 machinery would silently strip the whole lazy surface;
+* no in-repo module may import a deprecated top-level spelling
+  (``from repro import run_sweep``): internal code moves to the
+  canonical home immediately, only external callers get the grace
+  period.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutils import module_bound_names
+from repro.analysis.registry import rule
+
+_INIT_PATH = "src/repro/__init__.py"
+
+#: Names ``__all__`` may carry beyond the manifest: the eager error
+#: surface plus the version/manifest bindings themselves.
+_EAGER_OK = ("__version__", "PACKAGE_EXPORTS")
+
+
+def _manifest_dict(tree: ast.Module, name: str):
+    """Keys/values of ``name = MappingProxyType({...})`` (or a plain
+    dict literal).  Values are the first string constant per entry —
+    the defining module for both manifests."""
+    for stmt in tree.body:
+        if not (isinstance(stmt, (ast.Assign, ast.AnnAssign))):
+            continue
+        targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                   else [stmt.target])
+        if not any(isinstance(t, ast.Name) and t.id == name
+                   for t in targets):
+            continue
+        for node in ast.walk(stmt.value) if stmt.value else ():
+            if isinstance(node, ast.Dict):
+                entries = {}
+                for key, value in zip(node.keys, node.values):
+                    if not (isinstance(key, ast.Constant)
+                            and isinstance(key.value, str)):
+                        continue
+                    module = next(
+                        (n.value for n in ast.walk(value)
+                         if isinstance(n, ast.Constant)
+                         and isinstance(n.value, str)), None)
+                    entries[key.value] = (key.lineno, module)
+                return stmt.lineno, entries
+        return stmt.lineno, {}
+    return 0, None
+
+
+def _all_entries(tree: ast.Module):
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) \
+                and any(isinstance(t, ast.Name) and t.id == "__all__"
+                        for t in stmt.targets) \
+                and isinstance(stmt.value, (ast.List, ast.Tuple)):
+            entries = {}
+            starred_manifests = set()
+            for element in stmt.value.elts:
+                if isinstance(element, ast.Constant) \
+                        and isinstance(element.value, str):
+                    entries[element.value] = element.lineno
+                elif isinstance(element, ast.Starred) \
+                        and isinstance(element.value, ast.Name):
+                    starred_manifests.add(element.value.id)
+            return stmt.lineno, entries, starred_manifests
+    return 0, None, set()
+
+
+def _module_relpath(module: str) -> tuple[str, str]:
+    """Candidate repo paths for a dotted module name."""
+    base = "src/" + module.replace(".", "/")
+    return f"{base}.py", f"{base}/__init__.py"
+
+
+def _resolves(project, module: str, name: str) -> bool | None:
+    """Does ``module`` bind ``name`` at top level?  None = no module."""
+    for relpath in _module_relpath(module):
+        ctx = project.module(relpath)
+        if ctx is not None:
+            return name in module_bound_names(ctx.tree)
+    return None
+
+
+@rule("api-surface", scope="project", description=(
+    "repro/__init__ must export exactly its frozen PACKAGE_EXPORTS "
+    "manifest via PEP 562: manifest names resolvable in their declared "
+    "modules and listed in __all__, deprecated shims out of __all__ "
+    "and unused inside the repo"))
+def check_api_surface(project):
+    ctx = project.module(_INIT_PATH)
+    if ctx is None:
+        yield project.finding(_INIT_PATH, 0, "package root not found",
+                              symbol="missing-init")
+        return
+    bound = module_bound_names(ctx.tree)
+    for hook in ("__getattr__", "__dir__"):
+        if hook not in bound:
+            yield ctx.finding(
+                0, f"package root does not define {hook}() — the lazy "
+                   f"PACKAGE_EXPORTS surface needs the PEP 562 hooks",
+                symbol=f"hook.{hook}")
+
+    exports_line, exports = _manifest_dict(ctx.tree, "PACKAGE_EXPORTS")
+    if exports is None:
+        yield ctx.finding(0, "package root does not bind a "
+                             "PACKAGE_EXPORTS manifest dict",
+                          symbol="no-manifest")
+        return
+    deprecated_line, deprecated = _manifest_dict(ctx.tree,
+                                                 "_DEPRECATED_EXPORTS")
+    deprecated = deprecated or {}
+
+    all_line, all_names, starred = _all_entries(ctx.tree)
+    if all_names is None:
+        yield ctx.finding(0, "package root does not bind __all__",
+                          symbol="no-all")
+        return
+    manifest_in_all = "PACKAGE_EXPORTS" in starred
+
+    for name, (lineno, module) in exports.items():
+        if module is None:
+            yield ctx.finding(lineno, f"manifest entry {name!r} has no "
+                                      f"module string", symbol=f"bad.{name}")
+            continue
+        found = _resolves(project, module, name)
+        if found is None:
+            yield ctx.finding(
+                lineno, f"manifest maps {name!r} to unknown module "
+                        f"{module!r}", symbol=f"module.{name}")
+        elif not found:
+            yield ctx.finding(
+                lineno, f"manifest maps {name!r} to {module!r}, which "
+                        f"never binds it — repro.{name} would raise "
+                        f"AttributeError at first use",
+                symbol=f"unresolved.{name}")
+        if name in bound:
+            yield ctx.finding(
+                lineno, f"manifest name {name!r} is also bound eagerly "
+                        f"at module level, shadowing the lazy export",
+                symbol=f"eager.{name}")
+        if not manifest_in_all and name not in all_names:
+            yield ctx.finding(
+                all_line, f"manifest name {name!r} is missing from "
+                          f"__all__", symbol=f"all-missing.{name}")
+
+    for name, (lineno, module) in deprecated.items():
+        if name in all_names:
+            yield ctx.finding(
+                all_names[name], f"deprecated name {name!r} is listed in "
+                                 f"__all__ — shims must not be part of "
+                                 f"the supported surface",
+                symbol=f"all-deprecated.{name}")
+        if name in exports:
+            yield ctx.finding(
+                lineno, f"{name!r} is both exported and deprecated",
+                symbol=f"both.{name}")
+        if module is not None and not _resolves(project, module, name):
+            yield ctx.finding(
+                lineno, f"deprecation shim {name!r} points at {module!r}, "
+                        f"which never binds it", symbol=f"shim.{name}")
+
+    for entry, lineno in all_names.items():
+        if entry in _EAGER_OK or entry in exports or entry in deprecated:
+            continue          # deprecated entries already flagged above
+        if entry not in bound:
+            yield ctx.finding(
+                lineno, f"__all__ names {entry!r} but the module neither "
+                        f"binds it nor lists it in PACKAGE_EXPORTS "
+                        f"(star-imports would fail)",
+                symbol=f"all.{entry}")
+
+    if not deprecated:
+        return
+    for module_ctx in project.modules():
+        if module_ctx.relpath == _INIT_PATH:
+            continue
+        for stmt in ast.walk(module_ctx.tree):
+            if isinstance(stmt, ast.ImportFrom) and stmt.module == "repro" \
+                    and stmt.level == 0:
+                for alias in stmt.names:
+                    if alias.name in deprecated:
+                        yield module_ctx.finding(
+                            stmt.lineno,
+                            f"imports deprecated top-level spelling "
+                            f"repro.{alias.name} — use its canonical "
+                            f"module (see _DEPRECATED_EXPORTS)",
+                            symbol=f"use.{alias.name}")

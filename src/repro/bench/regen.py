@@ -83,11 +83,16 @@ class RegenContext:
     """Shared state for one regeneration pass: workers, cache, memos."""
 
     def __init__(self, num_workers: int | None = 1,
-                 cache: ResultCache | str | os.PathLike | None = None) -> None:
+                 cache: ResultCache | str | os.PathLike | None = None,
+                 runner: Callable | None = None) -> None:
         self.num_workers = num_workers
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
+        #: alternate sweep executor with run_sweep's signature; the serve
+        #: daemon injects its scheduler here so report sections share the
+        #: resident workers and in-flight dedup of directly submitted jobs
+        self.runner = runner
         self._outcomes: dict[str, object] = {}
 
     def sweep(self, name: str, jobs_fn: Callable[[], list]):
@@ -95,8 +100,9 @@ class RegenContext:
         outcome = self._outcomes.get(name)
         if outcome is not None:
             return outcome, False
-        outcome = run_sweep(jobs_fn(), num_workers=self.num_workers,
-                            cache=self.cache)
+        run = self.runner if self.runner is not None else run_sweep
+        outcome = run(jobs_fn(), num_workers=self.num_workers,
+                      cache=self.cache)
         self._outcomes[name] = outcome
         return outcome, True
 
@@ -385,7 +391,8 @@ def regenerate(results_dir: str, sections=None, num_workers: int | None = 1,
                report_path: str | None = None,
                provenance_path: str | None = None,
                progress: Callable[[dict], None] | None = None,
-               charts: bool = False) -> RegenReport:
+               charts: bool = False,
+               runner: Callable | None = None) -> RegenReport:
     """Regenerate section tables and the consolidated report from cache.
 
     Renders each selected section's ``.txt`` under ``results_dir`` (rows
@@ -396,9 +403,12 @@ def regenerate(results_dir: str, sections=None, num_workers: int | None = 1,
     ``<key>.chart.txt`` and REPORT.md embeds the charts under the
     tables (same rows, so cold and warm runs stay byte-identical).
     ``progress``, if given, is called with each finished section record.
+    ``runner`` substitutes the sweep executor (run_sweep's signature);
+    the serve daemon passes its scheduler so section sweeps run on the
+    resident worker pool.
     """
     keys = resolve_sections(sections)
-    ctx = RegenContext(num_workers=num_workers, cache=cache)
+    ctx = RegenContext(num_workers=num_workers, cache=cache, runner=runner)
     start = time.monotonic()
     os.makedirs(results_dir, exist_ok=True)
 

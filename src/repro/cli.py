@@ -8,6 +8,10 @@ Commands
                (``--figure fig8`` runs a paper figure's exact matrix)
 ``report``     regenerate figure tables + the consolidated REPORT.md
                straight from the result cache
+``serve``      run the warm-cache simulation daemon on a unix socket
+               (sweeps/reports submitted by ``--connect`` or
+               :class:`repro.api.RemoteSession` reuse its resident
+               workers and shared cache)
 ``cache``      result-cache maintenance (``info``, ``gc``)
 ``netlist``    generate an MDP-network and emit structural Verilog
 ``datasets``   print the Table 2 registry and generated stand-in sizes
@@ -44,14 +48,56 @@ _CONFIG_MAKERS = {
     "graphdyns": graphdyns,
 }
 
+#: Environment fallbacks for the shared execution flags (the engine's
+#: own ``$REPRO_ENGINE`` fallback lives in :mod:`repro.accel.engine`).
+JOBS_ENV_VAR = "REPRO_JOBS"
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def _shared_parents() -> dict[str, argparse.ArgumentParser]:
+    """Parent parsers for flags shared across subcommands.
+
+    One definition per flag keeps simulate/sweep/report/serve
+    consistent (same spelling, same help, same env fallback) — the
+    cli-docs lint rule and test suite hold the subcommands to these.
+    Environment fallbacks are resolved at parser-build time: string
+    defaults go through the argument's ``type``, so a malformed
+    ``$REPRO_JOBS`` fails at parse time like a malformed flag would.
+    """
+    engine = argparse.ArgumentParser(add_help=False)
+    engine.add_argument("--engine", default=None, choices=list(ENGINES),
+                        help="scatter engine (default: $REPRO_ENGINE, then "
+                             f"{DEFAULT_ENGINE}); results and cache entries "
+                             "are engine-independent")
+    execution = argparse.ArgumentParser(add_help=False)
+    execution.add_argument("--jobs", type=int,
+                           default=os.environ.get(JOBS_ENV_VAR, 1),
+                           help="worker processes (0 = one per CPU; "
+                                "default: $REPRO_JOBS, then 1)")
+    execution.add_argument("--cache-dir",
+                           default=os.environ.get(CACHE_DIR_ENV_VAR),
+                           help="result cache directory, created if missing "
+                                "(default: $REPRO_CACHE_DIR, then no cache)")
+    execution.add_argument("--no-cache", action="store_true",
+                           help="ignore and bypass the result cache")
+    connect = argparse.ArgumentParser(add_help=False)
+    connect.add_argument("--connect", default=None, metavar="SOCKET",
+                         help="execute on a running `repro serve` daemon at "
+                              "this unix socket instead of in-process "
+                              "(--jobs/--cache-dir/--no-cache/--engine then "
+                              "come from the daemon and are ignored here)")
+    return {"engine": engine, "execution": execution, "connect": connect}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="HiGraph / MDP-network reproduction (DAC 2022)")
     sub = parser.add_subparsers(dest="command", required=True)
+    parents = _shared_parents()
 
-    sim = sub.add_parser("simulate", help="cycle-simulate one workload")
+    sim = sub.add_parser("simulate", parents=[parents["engine"]],
+                         help="cycle-simulate one workload")
     sim.add_argument("--dataset", default="R14", choices=sorted(TABLE2))
     sim.add_argument("--scale", type=float, default=0.0625,
                      help="dataset scale in (0, 1] (default 0.0625)")
@@ -61,12 +107,11 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=sorted(_CONFIG_MAKERS) + ["all"])
     sim.add_argument("--source", type=int, default=0)
     sim.add_argument("--pr-iterations", type=int, default=2)
-    sim.add_argument("--engine", default=None, choices=list(ENGINES),
-                     help="scatter engine (default: $REPRO_ENGINE, then "
-                          f"{DEFAULT_ENGINE}); both produce identical stats")
 
     swp = sub.add_parser(
-        "sweep", help="run a simulation matrix in parallel with caching")
+        "sweep",
+        parents=[parents["engine"], parents["execution"], parents["connect"]],
+        help="run a simulation matrix in parallel with caching")
     swp.add_argument("--algorithms", default="BFS,SSSP,SSWP,PR",
                      help="comma-separated list (default: the paper's four)")
     swp.add_argument("--datasets", default="R14",
@@ -79,32 +124,19 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--axis", action="append", default=[], metavar="FIELD=V1,V2",
                      help="sweep an AcceleratorConfig field over values, "
                           "e.g. --axis fifo_depth=40,160,320 (repeatable)")
-    swp.add_argument("--jobs", type=int, default=1,
-                     help="worker processes (0 = one per CPU, default 1)")
-    swp.add_argument("--cache-dir", default=None,
-                     help="result cache directory (created if missing)")
-    swp.add_argument("--no-cache", action="store_true",
-                     help="ignore and bypass the result cache")
     swp.add_argument("--source", type=int, default=0)
     swp.add_argument("--pr-iterations", type=int, default=2)
     swp.add_argument("--figure", default=None, metavar="NAME",
                      help="run the exact job matrix behind one paper "
                           "figure/section alias (fig8, fig10, radix, ...) "
                           "instead of the --algorithms/--datasets matrix")
-    swp.add_argument("--engine", default=None, choices=list(ENGINES),
-                     help="scatter engine (default: $REPRO_ENGINE, then "
-                          f"{DEFAULT_ENGINE}); results and cache entries "
-                          "are engine-independent")
 
     rep = sub.add_parser(
-        "report", help="regenerate figure tables + REPORT.md from the cache")
+        "report",
+        parents=[parents["engine"], parents["execution"], parents["connect"]],
+        help="regenerate figure tables + REPORT.md from the cache")
     rep.add_argument("--results-dir", default=os.path.join("benchmarks", "results"),
                      help="where section .txt tables and REPORT.md live")
-    rep.add_argument("--cache-dir", default=None,
-                     help="sweep result cache (warm cache => zero simulation)")
-    rep.add_argument("--jobs", type=int, default=1,
-                     help="worker processes for cache misses "
-                          "(0 = one per CPU, default 1)")
     rep.add_argument("--section", action="append", default=[], metavar="NAME",
                      help="section key or figure alias, repeatable "
                           "(default: every section); see --list-sections")
@@ -115,9 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "(<section>.chart.txt) and embed it in REPORT.md")
     rep.add_argument("--list-sections", action="store_true",
                      help="print section keys + figure aliases and exit")
-    rep.add_argument("--engine", default=None, choices=list(ENGINES),
-                     help="scatter engine for cache misses (default: "
-                          f"$REPRO_ENGINE, then {DEFAULT_ENGINE})")
+
+    srv = sub.add_parser(
+        "serve", parents=[parents["engine"], parents["execution"]],
+        help="run the warm-cache simulation daemon")
+    srv.add_argument("--socket", required=True, metavar="PATH",
+                     help="unix socket path to bind (keep it short; the OS "
+                          "caps socket paths around 100 characters)")
 
     cch = sub.add_parser("cache", help="result-cache maintenance")
     cch_sub = cch.add_subparsers(dest="cache_command", required=True)
@@ -187,6 +223,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "sweep": _cmd_sweep,
         "report": _cmd_report,
+        "serve": _cmd_serve,
         "cache": _cmd_cache,
         "netlist": _cmd_netlist,
         "datasets": _cmd_datasets,
@@ -198,6 +235,21 @@ def main(argv: list[str] | None = None) -> int:
 
 
 # ----------------------------------------------------------------------
+
+def _session_for(args):
+    """The Session behind a sweep/report invocation (docs/serving.md).
+
+    ``--connect`` routes execution to a running daemon (which owns the
+    cache, the workers and the engine choice); otherwise execution is
+    in-process with this invocation's flags.
+    """
+    from repro.api import LocalSession, RemoteSession
+
+    if getattr(args, "connect", None):
+        return RemoteSession(args.connect)
+    cache = None if args.no_cache else args.cache_dir
+    return LocalSession(cache_dir=cache, num_workers=args.jobs)
+
 
 def _cmd_simulate(args) -> int:
     graph = load(args.dataset, scale=args.scale)
@@ -231,7 +283,7 @@ def _parse_axis_value(text: str):
 
 def _cmd_sweep(args) -> int:
     from repro.bench import bench_graph_spec
-    from repro.sweep import GraphSpec, plan_jobs, run_sweep
+    from repro.sweep import GraphSpec, plan_jobs
 
     if args.figure is not None:
         return _cmd_sweep_figure(args)
@@ -274,12 +326,12 @@ def _cmd_sweep(args) -> int:
         sweep_axes[field.strip()] = [
             _parse_axis_value(v.strip()) for v in values.split(",")]
 
-    cache = None if args.no_cache else args.cache_dir
     try:
         jobs = plan_jobs(algorithms, graphs, configs,
                          sweep_axes=sweep_axes or None, source=args.source,
                          engine=args.engine)
-        outcome = run_sweep(jobs, num_workers=args.jobs, cache=cache)
+        with _session_for(args) as session:
+            outcome = session.sweep(jobs)
     except (ReproError, ValueError) as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 2
@@ -351,9 +403,16 @@ def _cmd_sweep_figure(args) -> int:
 
     cache = None if args.no_cache else args.cache_dir
     try:
-        with _engine_env(args.engine):
+        with _engine_env(args.engine), _session_for(args) as session:
+            # figure sections plan their own jobs; route their sweeps
+            # through the session so --connect reuses the daemon's
+            # resident workers and shared cache
+            def _runner(jobs, num_workers=None, cache=None, progress=None):
+                return session.sweep(jobs)
+
             keys = resolve_sections([args.figure])
-            ctx = RegenContext(num_workers=args.jobs, cache=cache)
+            ctx = RegenContext(num_workers=args.jobs, cache=cache,
+                               runner=_runner)
             executed = hits = planned = 0
             for key in keys:
                 spec = SECTIONS[key]
@@ -373,7 +432,7 @@ def _cmd_sweep_figure(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from repro.bench.regen import FIGURE_SECTIONS, SECTIONS, regenerate
+    from repro.bench.regen import FIGURE_SECTIONS, SECTIONS
 
     if args.list_sections:
         print("sections (report order):")
@@ -394,15 +453,13 @@ def _cmd_report(args) -> int:
     try:
         # section builders plan their own jobs; the engine choice is
         # scoped to this regeneration (see _engine_env)
-        with _engine_env(args.engine):
-            report = regenerate(
+        with _engine_env(args.engine), _session_for(args) as session:
+            report = session.report(
                 args.results_dir,
                 sections=args.section or None,
-                num_workers=args.jobs,
-                cache=args.cache_dir,
-                report_path=args.out,
-                progress=_progress,
+                out=args.out,
                 charts=args.charts,
+                on_progress=_progress,
             )
     except (ReproError, ValueError, OSError) as exc:
         print(f"report regeneration failed: {exc}", file=sys.stderr)
@@ -414,6 +471,32 @@ def _cmd_report(args) -> int:
           f"executed: {report.executed}  wall: {report.wall_seconds:.2f}s")
     print(f"wrote {report.report_path}")
     print(f"wrote {report.provenance_path}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.daemon import ServeDaemon
+    from repro.sweep.executor import resolve_workers
+
+    cache = None if args.no_cache else args.cache_dir
+    try:
+        daemon = ServeDaemon(args.socket, cache_dir=cache,
+                             workers=resolve_workers(args.jobs),
+                             engine=args.engine)
+    except (ReproError, OSError) as exc:
+        print(f"serve failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"repro serve: socket {args.socket}  "
+          f"workers: {daemon.pool.size} ({daemon.pool.mode})  "
+          f"cache: {cache or '(none)'}  "
+          f"code version: {daemon.version[:12]}", flush=True)
+    try:
+        asyncio.run(daemon.run(
+            on_started=lambda: print("ready", flush=True)))
+    except KeyboardInterrupt:
+        pass
     return 0
 
 

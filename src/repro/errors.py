@@ -51,3 +51,15 @@ class StatsSchemaError(ReproError, ValueError):
 
 class SweepError(ReproError):
     """A sweep plan or execution request is malformed (unknown axis, bad job count...)."""
+
+
+class ProtocolError(ReproError):
+    """A serve-protocol message is malformed (bad JSON, unknown type, missing field)."""
+
+
+class ProtocolVersionError(ProtocolError):
+    """Peer speaks an incompatible serve-protocol version."""
+
+
+class ServeError(ReproError):
+    """The serve daemon rejected a request or failed while executing it."""

@@ -8,7 +8,15 @@ memoizes results on disk keyed by content, not by name
 (:mod:`repro.sweep.cache`).  See ``docs/sweep.md``.
 """
 
-from repro.sweep.cache import CacheEntry, GcStats, ResultCache, code_version
+from repro.sweep.cache import (
+    CacheClaim,
+    CacheEntry,
+    GcStats,
+    ResultCache,
+    code_generation,
+    code_version,
+    refresh_code_version,
+)
 from repro.sweep.executor import (
     SweepOutcome,
     execute_job,
@@ -24,10 +32,13 @@ __all__ = [
     "SweepJob",
     "plan_jobs",
     "graph_fingerprint",
+    "CacheClaim",
     "CacheEntry",
     "GcStats",
     "ResultCache",
     "code_version",
+    "code_generation",
+    "refresh_code_version",
     "SweepOutcome",
     "run_sweep",
     "execute_job",

@@ -30,7 +30,31 @@ import os
 import tempfile
 from pathlib import Path
 
-__all__ = ["atomic_write_text", "atomic_write_json", "append_line"]
+__all__ = ["atomic_write_text", "atomic_write_json", "append_line",
+           "exclusive_create"]
+
+
+def exclusive_create(path: str | os.PathLike, text: str, *,
+                     encoding: str = "utf-8") -> bool:
+    """Create ``path`` with ``text`` iff it does not exist yet.
+
+    ``O_CREAT | O_EXCL`` is the one primitive POSIX makes atomic across
+    processes *and* NFS-style shared mounts, which is why the cache
+    claim protocol (:meth:`repro.sweep.cache.ResultCache.claim`) builds
+    on it: of N racing workers exactly one observes True.  Returns
+    False when the file already exists; any other OS failure raises.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+    except FileExistsError:
+        return False
+    with os.fdopen(fd, "w", encoding=encoding) as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    return True
 
 
 def atomic_write_text(path: str | os.PathLike, text: str, *,

@@ -30,7 +30,7 @@ from pathlib import Path
 
 import repro
 from repro.accel.stats import SimStats
-from repro.sweep.atomic import atomic_write_json
+from repro.sweep.atomic import atomic_write_json, exclusive_create
 
 #: Source subpackages whose text participates in the code version.
 #: Orchestration layers (bench, sweep, cli) are deliberately excluded.
@@ -38,26 +38,68 @@ CODE_VERSION_SUBPACKAGES = ("accel", "hw", "mdp", "algorithms", "graph")
 CODE_VERSION_MODULES = ("errors.py",)
 
 _code_version_memo: str | None = None
+#: Bumped whenever :func:`refresh_code_version` observes a digest
+#: change; long-lived processes (the serve daemon) compare generations
+#: instead of re-digesting the tree per request.
+_code_generation = 0
+
+
+def _digest_source_tree() -> str:
+    root = Path(repro.__file__).parent
+    h = hashlib.sha256()
+    paths: list[Path] = [root / name for name in CODE_VERSION_MODULES]
+    for sub in CODE_VERSION_SUBPACKAGES:
+        # recursive: nested packages (e.g. accel/engine/) must
+        # invalidate cache entries exactly like top-level modules
+        paths.extend(sorted((root / sub).rglob("*.py")))
+    for path in paths:
+        h.update(str(path.relative_to(root)).encode("utf-8"))
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    return h.hexdigest()
 
 
 def code_version() -> str:
-    """Digest of the simulation-relevant source tree (memoized)."""
+    """Digest of the simulation-relevant source tree (memoized).
+
+    The digest is computed **once per process** and reused by every
+    :meth:`SweepJob.cache_key <repro.sweep.jobs.SweepJob.cache_key>`
+    call site; a long-lived daemon only re-reads the tree on an
+    explicit :func:`refresh_code_version` (the serve ``reload``
+    request), never on the job hot path.
+    """
     global _code_version_memo
     if _code_version_memo is None:
-        root = Path(repro.__file__).parent
-        h = hashlib.sha256()
-        paths: list[Path] = [root / name for name in CODE_VERSION_MODULES]
-        for sub in CODE_VERSION_SUBPACKAGES:
-            # recursive: nested packages (e.g. accel/engine/) must
-            # invalidate cache entries exactly like top-level modules
-            paths.extend(sorted((root / sub).rglob("*.py")))
-        for path in paths:
-            h.update(str(path.relative_to(root)).encode("utf-8"))
-            h.update(b"\0")
-            h.update(path.read_bytes())
-            h.update(b"\0")
-        _code_version_memo = h.hexdigest()
+        _code_version_memo = _digest_source_tree()
     return _code_version_memo
+
+
+def code_generation() -> int:
+    """Monotonic counter of observed code-version changes.
+
+    Starts at 0 and only moves when :func:`refresh_code_version` finds
+    the source digest changed — the generation-counter invalidation
+    scheme of the serve daemon: workers stamp results with the
+    generation they were spawned under, and a bumped generation tells
+    resident state (graph memos, learned cost models) it is stale
+    without any of them re-hashing the tree.
+    """
+    return _code_generation
+
+
+def refresh_code_version() -> str:
+    """Re-digest the source tree; bump the generation if it changed.
+
+    This is the *only* way the memoized :func:`code_version` moves
+    within a process.  Returns the (possibly unchanged) digest.
+    """
+    global _code_version_memo, _code_generation
+    fresh = _digest_source_tree()
+    if fresh != _code_version_memo and _code_version_memo is not None:
+        _code_generation += 1
+    _code_version_memo = fresh
+    return fresh
 
 
 @dataclass(frozen=True)
@@ -68,6 +110,26 @@ class CacheEntry:
     path: Path
     size_bytes: int
     mtime: float
+
+
+@dataclass(frozen=True)
+class CacheClaim:
+    """Exclusive right to *compute* one cache entry (not to read it).
+
+    Claims are advisory lock files next to the entry they cover
+    (``<key>.claim``), taken with an atomic exclusive create so N
+    workers — across processes and hosts sharing one cache directory —
+    agree on a single owner per key.  Losing a claim race means someone
+    else is already simulating that job: wait for the entry instead of
+    duplicating the work.  A claim is *not* required for reads, and a
+    crashed owner's claim goes stale after ``stale_after`` seconds, so
+    the worst failure mode remains one redundant simulation, never a
+    deadlock and never a torn entry.
+    """
+
+    key: str
+    path: Path
+    owner: str
 
 
 @dataclass(frozen=True)
@@ -124,6 +186,68 @@ class ResultCache:
         # cache dir converge on one winner, never a torn entry
         atomic_write_json(self._path(key), payload, indent=1,
                           trailing_newline=False)
+
+    # ------------------------------------------------------------------
+    # Ownership: claim files for the shared-cache compute protocol
+    # ------------------------------------------------------------------
+
+    #: Seconds after which an unreleased claim is presumed dead and may
+    #: be broken.  Generous: claims only outlive their owner on a crash,
+    #: and a broken live claim costs one redundant simulation.
+    DEFAULT_CLAIM_STALE_SECONDS = 600.0
+
+    def _claim_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.claim"
+
+    def claim(self, key: str, owner: str | None = None,
+              stale_after: float = DEFAULT_CLAIM_STALE_SECONDS) -> CacheClaim | None:
+        """Try to become the one worker computing entry ``key``.
+
+        Returns a :class:`CacheClaim` on success, None when another
+        live owner holds the claim.  A claim file older than
+        ``stale_after`` seconds is treated as abandoned: it is removed
+        and the create is retried, with the O_EXCL create — routed
+        through :func:`repro.sweep.atomic.exclusive_create` — deciding
+        any race among the breakers.  (The check-then-unlink window
+        means two breakers can in theory both clear a *just-refreshed*
+        claim; the cost is one redundant simulation, which the
+        atomic-write cache tolerates by design.)
+        """
+        if owner is None:
+            owner = f"{os.uname().nodename}:{os.getpid()}"
+        path = self._claim_path(key)
+        payload = json.dumps({"key": key, "owner": owner,
+                              "claimed_at": time.time()}, sort_keys=True)
+        for _ in range(2):                  # initial try + post-break retry
+            if exclusive_create(path, payload):
+                return CacheClaim(key=key, path=path, owner=owner)
+            try:
+                age = time.time() - path.stat().st_mtime
+            except OSError:
+                continue                    # released mid-race: retry create
+            if age <= stale_after:
+                return None                 # live owner, back off
+            try:
+                path.unlink()               # abandoned: break and retry
+            except OSError:
+                pass
+        return None
+
+    def release(self, claim: CacheClaim) -> None:
+        """Drop a claim (idempotent; a broken/stolen claim is a no-op)."""
+        try:
+            claim.path.unlink()
+        except OSError:
+            pass
+
+    def claim_owner(self, key: str) -> str | None:
+        """Owner string of a live claim on ``key``, if any."""
+        try:
+            with open(self._claim_path(key), encoding="utf-8") as fh:
+                value = json.load(fh).get("owner")
+            return str(value) if value is not None else None
+        except (OSError, ValueError):
+            return None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

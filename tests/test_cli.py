@@ -310,3 +310,61 @@ class TestBudgetParsers:
             parse_age_seconds("x7d")
         with _pytest.raises(ValueError):
             parse_size_bytes("")
+
+
+class TestSharedFlags:
+    """The parent parsers shared by simulate/sweep/report/serve."""
+
+    @pytest.mark.parametrize("argv", [
+        ["sweep", "--engine", "reference", "--jobs", "3",
+         "--cache-dir", "/tmp/c", "--no-cache"],
+        ["report", "--engine", "reference", "--jobs", "3",
+         "--cache-dir", "/tmp/c", "--no-cache"],
+        ["serve", "--socket", "/tmp/s.sock", "--engine", "reference",
+         "--jobs", "3", "--cache-dir", "/tmp/c", "--no-cache"],
+    ])
+    def test_execution_flags_on_every_front_end(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.engine == "reference"
+        assert args.jobs == 3
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache
+
+    def test_simulate_takes_engine_only(self):
+        assert build_parser().parse_args(
+            ["simulate", "--engine", "reference"]).engine == "reference"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--jobs", "2"])
+
+    def test_env_fallbacks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/env-cache")
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs == 7
+        assert args.cache_dir == "/tmp/env-cache"
+
+    def test_explicit_flags_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/env-cache")
+        args = build_parser().parse_args(
+            ["report", "--jobs", "2", "--cache-dir", "/tmp/flag"])
+        assert args.jobs == 2
+        assert args.cache_dir == "/tmp/flag"
+
+    def test_malformed_jobs_env_fails_at_parse_time(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "several")
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_serve_requires_socket(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+        args = build_parser().parse_args(["serve", "--socket", "/tmp/d.sock"])
+        assert args.socket == "/tmp/d.sock"
+
+    @pytest.mark.parametrize("command", ["sweep", "report"])
+    def test_connect_flag(self, command):
+        args = build_parser().parse_args(
+            [command, "--connect", "/tmp/d.sock"])
+        assert args.connect == "/tmp/d.sock"
+        assert build_parser().parse_args([command]).connect is None
