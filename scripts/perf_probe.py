@@ -4,10 +4,15 @@
 Times the Fig. 8 evaluation matrix (algorithms x datasets x the three
 Table 1 designs) **cold** — no result cache, every job simulated — once
 per scatter engine, and appends one JSON line to the benchmark history
-file.  This is the perf trajectory's seed: each run adds a record, so
-``benchmarks/results/bench_history.jsonl`` accumulates the engine
-speedup over time (see docs/performance.md for how to read it, and
-``scripts/check_bench_history.py`` for the CI gate that watches it).
+file.  A second line follows: the **PageRank x10** record
+(``bench: pr10_cold_sweep``), the same datasets x configs matrix with
+PR at ten iterations — the workload where the soa engine's in-kernel
+recording and resident tProperty pay off, tracked as its own
+trajectory (``pr10_seconds`` / ``speedup_soa_pr10``).  Each run adds
+records, so ``benchmarks/results/bench_history.jsonl`` accumulates the
+engine speedup over time (see docs/performance.md for how to read it,
+and ``scripts/check_bench_history.py`` for the CI gate that watches
+it).
 
 Methodology
 -----------
@@ -57,6 +62,10 @@ ENGINE_PAIR = ("reference", "batched")
 #: All engines each job is timed on.
 ENGINES_TIMED = ("reference", "batched", "soa")
 
+#: FFWD_TELEMETRY keys only the soa engine increments — harvested from
+#: its runs (everything else is harvested from the batched runs).
+_SOA_ONLY_FFWD = ("c_recorded_phases", "prologue_reuse")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -77,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--require-speedup", type=float, default=None,
                         metavar="X",
                         help="exit non-zero unless the recorded speedup >= X")
+    parser.add_argument("--pr-iterations", type=int, default=10,
+                        metavar="N",
+                        help="PageRank iterations for the pr10 record "
+                             "(default: 10)")
+    parser.add_argument("--no-pr10", action="store_true",
+                        help="skip the PageRank x10 record (fig8 only)")
     return parser
 
 
@@ -122,14 +137,15 @@ def build_record(pairs: list[dict], *, datasets: list[str],
                  algorithms: list[str], scales: dict,
                  equivalence_class: str, ffwd: dict | None = None,
                  utc: str | None = None, python_version: str | None = None,
-                 machine: str | None = None) -> dict:
+                 machine: str | None = None,
+                 bench: str = "fig8_cold_sweep") -> dict:
     """Assemble one BENCH history line from per-job pair results."""
     if not pairs:
         raise ValueError("no job pairs to record")
     ref_total = sum(p["reference_seconds"] for p in pairs)
     bat_total = sum(p["batched_seconds"] for p in pairs)
     record = {
-        "bench": "fig8_cold_sweep",
+        "bench": bench,
         "utc": utc if utc is not None
         else datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "datasets": list(datasets),
@@ -155,6 +171,21 @@ def build_record(pairs: list[dict], *, datasets: list[str],
     if ffwd is not None:
         record["ffwd"] = dict(ffwd)
     return record
+
+
+def pr10_fields(record: dict) -> dict:
+    """Dedicated optional fields for the PageRank x10 trajectory.
+
+    Derived from a built ``pr10_cold_sweep`` record so the trajectory
+    has stable names (``pr10_seconds`` / ``speedup_soa_pr10``) that
+    tooling can read without caring which line of the history it is.
+    Empty when the soa engine was not timed (no compiler, say — the
+    record then still documents the reference/batched pair).
+    """
+    if "soa_seconds" not in record:
+        return {}
+    return {"pr10_seconds": record["soa_seconds"],
+            "speedup_soa_pr10": record["speedup_soa"]}
 
 
 def resolve_out_path(out: str, default: str = DEFAULT_OUT) -> str:
@@ -200,57 +231,97 @@ def main(argv=None) -> int:
                 if args.datasets else list(DATASET_ORDER))
     algorithms = ([a.strip().upper() for a in args.algorithms.split(",")]
                   if args.algorithms else ["BFS", "SSSP", "SSWP", "PR"])
+
+    def resolve_graphs(jobs):
+        # resolve every graph once, outside the timed region
+        for job in jobs:
+            fingerprint = graph_fingerprint(job.graph)
+            if fingerprint not in _GRAPH_MEMO:
+                _GRAPH_MEMO[fingerprint] = job.resolve_graph()
+
+    def time_jobs(jobs):
+        ffwd = dict.fromkeys(FFWD_TELEMETRY, 0)
+        pairs = []
+        for job in jobs:
+            seconds = {}
+            stats = {}
+            for engine in ENGINES_TIMED:             # paired, adjacent
+                job.engine = engine
+                t0 = time.perf_counter()
+                stats[engine] = execute_job(job).to_dict()
+                seconds[engine] = time.perf_counter() - t0
+                # each engine zeroes the process-wide telemetry at the
+                # start of its run, so right after the batched run the
+                # dict holds exactly this job's batched numbers —
+                # accumulate per job for the record.  The two soa-only
+                # counters (in-kernel recordings, resident-tProperty
+                # reuses) are always zero in a batched run and are
+                # harvested from the soa run instead.
+                if engine == "batched":
+                    for key in ffwd:
+                        if key not in _SOA_ONLY_FFWD:
+                            ffwd[key] += FFWD_TELEMETRY[key]
+                elif engine == "soa":
+                    for key in _SOA_ONLY_FFWD:
+                        ffwd[key] += FFWD_TELEMETRY[key]
+            pair = pair_result(job.describe(), seconds, stats)
+            pairs.append(pair)
+            if not pair["stats_identical"]:
+                print(f"WARNING: SimStats diverge on {pair['job']}",
+                      file=sys.stderr)
+            print(f"  {pair['job']:28s} "
+                  f"ref={pair['reference_seconds']:7.3f}s "
+                  f"bat={pair['batched_seconds']:7.3f}s "
+                  f"soa={pair['soa_seconds']:7.3f}s  "
+                  f"{pair['speedup']:5.2f}x/{pair['speedup_soa']:5.2f}x")
+        return pairs, ffwd
+
     jobs = matrix_jobs(algorithms=algorithms, datasets=datasets)
-
-    # resolve every graph once, outside the timed region
-    for job in jobs:
-        fingerprint = graph_fingerprint(job.graph)
-        if fingerprint not in _GRAPH_MEMO:
-            _GRAPH_MEMO[fingerprint] = job.resolve_graph()
-
-    ffwd = dict.fromkeys(FFWD_TELEMETRY, 0)
-    pairs = []
-    for job in jobs:
-        seconds = {}
-        stats = {}
-        for engine in ENGINES_TIMED:                 # paired, adjacent
-            job.engine = engine
-            t0 = time.perf_counter()
-            stats[engine] = execute_job(job).to_dict()
-            seconds[engine] = time.perf_counter() - t0
-            # each engine zeroes the process-wide telemetry at the
-            # start of its run, so right after the batched run the
-            # dict holds exactly this job's batched numbers —
-            # accumulate per job for the record
-            if engine == "batched":
-                for key in ffwd:
-                    ffwd[key] += FFWD_TELEMETRY[key]
-        pair = pair_result(job.describe(), seconds, stats)
-        pairs.append(pair)
-        if not pair["stats_identical"]:
-            print(f"WARNING: SimStats diverge on {pair['job']}",
-                  file=sys.stderr)
-        print(f"  {pair['job']:28s} ref={pair['reference_seconds']:7.3f}s "
-              f"bat={pair['batched_seconds']:7.3f}s "
-              f"soa={pair['soa_seconds']:7.3f}s  "
-              f"{pair['speedup']:5.2f}x/{pair['speedup_soa']:5.2f}x")
-
-    record = build_record(
+    resolve_graphs(jobs)
+    pairs, ffwd = time_jobs(jobs)
+    scales = {d: bench_scale(d) for d in datasets}
+    equivalence_class = engine_cache_token("batched")
+    records = [build_record(
         pairs,
         datasets=datasets,
         algorithms=algorithms,
-        scales={d: bench_scale(d) for d in datasets},
-        equivalence_class=engine_cache_token("batched"),
+        scales=scales,
+        equivalence_class=equivalence_class,
         ffwd=dict(ffwd),
-    )
-    # single-write append via the shared atomic-write discipline, so a
+    )]
+
+    if not args.no_pr10:
+        # the second trajectory: PageRank at ten iterations — nine
+        # all-active replay phases per job, the workload the soa
+        # engine's in-kernel recording + resident tProperty target
+        print(f"PRx{args.pr_iterations}:")
+        pr10_jobs = matrix_jobs(
+            algorithms=[("PR", {"iterations": args.pr_iterations})],
+            datasets=datasets)
+        resolve_graphs(pr10_jobs)
+        pr10_pairs, pr10_ffwd = time_jobs(pr10_jobs)
+        pr10_record = build_record(
+            pr10_pairs,
+            datasets=datasets,
+            algorithms=[f"PRx{args.pr_iterations}"],
+            scales=scales,
+            equivalence_class=equivalence_class,
+            ffwd=dict(pr10_ffwd),
+            bench="pr10_cold_sweep",
+        )
+        pr10_record.update(pr10_fields(pr10_record))
+        records.append(pr10_record)
+
+    # single-write appends via the shared atomic-write discipline, so a
     # concurrent probe (or a killed one) cannot interleave/tear a record
     from repro.sweep.atomic import append_line
-    append_line(out_path, json.dumps(record, sort_keys=True))
-    print("BENCH " + json.dumps(record, sort_keys=True))
+    for record in records:
+        append_line(out_path, json.dumps(record, sort_keys=True))
+        print("BENCH " + json.dumps(record, sort_keys=True))
     print(f"wrote {out_path}")
 
-    if not record["stats_identical"]:
+    record = records[0]
+    if not all(r["stats_identical"] for r in records):
         print("FAIL: engines disagree — equivalence contract broken",
               file=sys.stderr)
         return 1

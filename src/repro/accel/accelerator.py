@@ -108,9 +108,8 @@ class AcceleratorSim:
         iteration = 0
         while active.size and iteration < max_iterations:
             sprop_all = alg.scatter_value(prop, self.out_degree)
-            tprop_list = [identity] * v
-            self._scatter(active, sprop_all, tprop_list, stats)
-            tprop = np.asarray(tprop_list, dtype=np.float64)
+            tprop = self.engine.scatter_phase(active, sprop_all, identity,
+                                              stats)
             new_prop = alg.apply(prop, tprop, graph)
             changed = alg.activation_mask(prop, new_prop)
             stats.apply_cycles += -(-v // m) + APPLY_PIPELINE_LATENCY

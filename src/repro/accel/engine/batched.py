@@ -21,6 +21,8 @@ fast-forward rests on.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.accel.engine.edgestage import make_batched_edge_stage
 from repro.accel.engine.frontends import make_batched_frontend, replay_frontend
 from repro.accel.engine.propagation import (
@@ -270,6 +272,16 @@ class BatchedEngine:
             if memo.can_record(key):
                 record_key = key
         self._march(active, sprop_all, tprop, stats, record_key)
+
+    def scatter_phase(self, active, sprop_all, identity: float,
+                      stats) -> np.ndarray:
+        """One whole scatter phase with a fresh identity-seeded tProperty;
+        returns the reduced array.  This is the engine-level seam the
+        ``soa`` engine overrides to keep the buffer resident across
+        phases (the per-phase marshalling prologue)."""
+        tprop = [identity] * self.num_vertices
+        self.scatter(active, sprop_all, tprop, stats)
+        return np.asarray(tprop, dtype=np.float64)
 
     def _march(self, active, sprop_all, tprop: list, stats,
                record_key: tuple | None) -> None:

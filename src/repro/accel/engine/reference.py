@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
 from repro.accel.backend import make_propagation, make_vertex_combiner
 from repro.accel.edge_access import make_edge_stage
 from repro.accel.frontend import make_frontend
@@ -94,6 +96,16 @@ class ReferenceEngine:
         stats.scatter_cycles += cycles
         stats.vpe_starvation_cycles += starved
         stats.edges_processed += reduces
+
+    # ------------------------------------------------------------------
+    def scatter_phase(self, active, sprop_all, identity: float,
+                      stats) -> np.ndarray:
+        """One whole scatter phase with a fresh identity-seeded tProperty;
+        returns the reduced array (the engine-level seam the ``soa``
+        engine overrides to keep the buffer resident across phases)."""
+        tprop = [identity] * self.sim.graph.num_vertices
+        self.scatter(active, sprop_all, tprop, stats)
+        return np.asarray(tprop, dtype=np.float64)
 
     # ------------------------------------------------------------------
     def harvest(self, stats) -> None:

@@ -29,6 +29,12 @@ from pathlib import Path
 #: kernel (the soa engine still runs, via the inherited batched march).
 KERNEL_ENV_VAR = "REPRO_SOA_KERNEL"
 
+#: Environment kill-switch for *in-kernel phase recording* only:
+#: ``REPRO_SOA_RECORD=off`` restores the pre-ABI-2 behavior where
+#: recording phases fall back to the Python batched march (the compiled
+#: kernel still runs replayed and non-recording phases).
+RECORD_ENV_VAR = "REPRO_SOA_RECORD"
+
 #: Environment override for the compiled-kernel cache directory.
 CACHE_ENV_VAR = "REPRO_SOA_CACHE"
 
@@ -40,6 +46,11 @@ _LIB: ctypes.CDLL | None | bool = False
 
 def kernel_disabled() -> bool:
     return os.environ.get(KERNEL_ENV_VAR, "").strip().lower() in (
+        "off", "0", "no", "false")
+
+
+def record_disabled() -> bool:
+    return os.environ.get(RECORD_ENV_VAR, "").strip().lower() in (
         "off", "0", "no", "false")
 
 

@@ -47,10 +47,13 @@ OPTIONAL_SCHEMA: dict[str, tuple] = {
     "soa_seconds": (int, float),
     "speedup_soa": (int, float),
     "median_job_speedup_soa": (int, float),
+    "pr10_seconds": (int, float),
+    "speedup_soa_pr10": (int, float),
 }
 
 #: optional numeric fields that must be positive when present
-_OPTIONAL_POSITIVE = ("soa_seconds", "speedup_soa", "median_job_speedup_soa")
+_OPTIONAL_POSITIVE = ("soa_seconds", "speedup_soa", "median_job_speedup_soa",
+                      "pr10_seconds", "speedup_soa_pr10")
 
 
 def validate_record(record: dict, lineno: int) -> list[str]:
@@ -91,8 +94,14 @@ def validate_record(record: dict, lineno: int) -> list[str]:
 
 
 def comparability_key(record: dict):
-    """Records are comparable when workload size and scales match."""
-    return (record["jobs"], tuple(sorted(record["scales"].items())))
+    """Records are comparable when bench, workload size and scales match.
+
+    The probe appends more than one trajectory per run (the fig8 matrix
+    and the PageRank x10 record), so the bench name keeps the
+    trajectories from being compared against each other.
+    """
+    return (record["bench"], record["jobs"],
+            tuple(sorted(record["scales"].items())))
 
 
 def check_history(records: list[dict], tolerance: float = 0.2):
@@ -116,18 +125,27 @@ def check_history(records: list[dict], tolerance: float = 0.2):
                 "contract broken)")
     if fatal or not records:
         return fatal, warnings
-    newest = records[-1]
-    peers = [r for r in records[:-1]
-             if comparability_key(r) == comparability_key(newest)]
-    if peers:
+    # one watch per trajectory: the newest record of every bench is
+    # compared against the best earlier comparable record of that bench
+    # (a probe run appends both a fig8 and a pr10 record, so "the last
+    # line" alone would leave the fig8 trajectory unwatched)
+    newest_by_bench: dict[str, dict] = {}
+    for record in records:
+        newest_by_bench[record["bench"]] = record
+    for bench, newest in newest_by_bench.items():
+        peers = [r for r in records
+                 if r is not newest
+                 and comparability_key(r) == comparability_key(newest)]
+        if not peers:
+            continue
         best = max(p["speedup"] for p in peers)
         floor = best * (1.0 - tolerance)
         if newest["speedup"] < floor:
             warnings.append(
-                f"trajectory regression: newest record ({newest['utc']}) "
-                f"speedup {newest['speedup']:.3f}x is more than "
-                f"{tolerance:.0%} below the best comparable record "
-                f"({best:.3f}x over {len(peers)} peer(s))")
+                f"trajectory regression: newest {bench} record "
+                f"({newest['utc']}) speedup {newest['speedup']:.3f}x is "
+                f"more than {tolerance:.0%} below the best comparable "
+                f"record ({best:.3f}x over {len(peers)} peer(s))")
     return fatal, warnings
 
 

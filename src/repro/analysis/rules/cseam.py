@@ -635,3 +635,20 @@ def check_c_seam_kernels(project: Project):
             f"{KERNEL_PATH} never mentions SOA_ABI_VERSION, so it "
             f"cannot extract the expected ABI from {C_PATH}:{abi.line}",
             symbol="abi:probe")
+
+    # 5. the struct magic encodes the ABI version in its low byte
+    #    (ASCII "SOA<v>"), so bumping the version without bumping the
+    #    magic — or vice versa — leaves a stale runtime guard: an old
+    #    cached .so would pass the magic check against a new mirror
+    magic = unit.defines.get("SOA_MAGIC")
+    if abi is not None and abi.int_value() is not None \
+            and magic is not None and magic.int_value() is not None:
+        expected_low = 0x30 + abi.int_value()
+        if (magic.int_value() & 0xFF) != expected_low:
+            yield c_ctx.finding(
+                magic.line,
+                f"ABI/magic skew: {C_PATH}:{abi.line} SOA_ABI_VERSION = "
+                f"{abi.int_value()} but {C_PATH}:{magic.line} SOA_MAGIC = "
+                f"{magic.int_value():#x} does not end in ASCII "
+                f"{chr(expected_low)!r} — the layout guard no longer "
+                f"tracks the ABI generation", symbol="abi:magic-sync")

@@ -149,11 +149,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print section keys + figure aliases and exit")
 
     srv = sub.add_parser(
-        "serve", parents=[parents["engine"], parents["execution"]],
-        help="run the warm-cache simulation daemon")
-    srv.add_argument("--socket", required=True, metavar="PATH",
-                     help="unix socket path to bind (keep it short; the OS "
-                          "caps socket paths around 100 characters)")
+        "serve",
+        parents=[parents["engine"], parents["execution"],
+                 parents["connect"]],
+        help="run the warm-cache simulation daemon (or poke a running one)")
+    srv.add_argument("verb", nargs="?", choices=["reload", "status"],
+                     help="instead of starting a daemon, ask the one at "
+                          "--connect to re-digest the code version and "
+                          "recycle its workers (reload) or print its "
+                          "status line (status)")
+    srv.add_argument("--socket", default=None, metavar="PATH",
+                     help="unix socket path to bind (required when starting "
+                          "a daemon; keep it short — the OS caps socket "
+                          "paths around 100 characters)")
 
     cch = sub.add_parser("cache", help="result-cache maintenance")
     cch_sub = cch.add_subparsers(dest="cache_command", required=True)
@@ -480,6 +488,13 @@ def _cmd_serve(args) -> int:
     from repro.serve.daemon import ServeDaemon
     from repro.sweep.executor import resolve_workers
 
+    if args.verb is not None:
+        return _cmd_serve_verb(args)
+    if args.socket is None:
+        print("serve: --socket PATH is required to start a daemon "
+              "(or pass a verb: `repro serve reload|status "
+              "--connect SOCKET`)", file=sys.stderr)
+        return 2
     cache = None if args.no_cache else args.cache_dir
     try:
         daemon = ServeDaemon(args.socket, cache_dir=cache,
@@ -497,6 +512,39 @@ def _cmd_serve(args) -> int:
             on_started=lambda: print("ready", flush=True)))
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _cmd_serve_verb(args) -> int:
+    """``repro serve reload|status --connect SOCKET`` — client verbs
+    against a running daemon (the daemon-side behavior is documented in
+    docs/serving.md; these are thin ``ServeClient`` front ends)."""
+    from repro.serve.client import ServeClient
+
+    if args.connect is None:
+        print(f"serve {args.verb}: --connect SOCKET is required "
+              "(the running daemon to talk to)", file=sys.stderr)
+        return 2
+    client = ServeClient(args.connect)
+    try:
+        if args.verb == "reload":
+            reply = client.reload()
+            print(f"reloaded: code version {reply.code_version[:12]} "
+                  f"({'changed' if reply.changed else 'unchanged'})  "
+                  f"generation: {reply.generation}")
+        else:
+            reply = client.status()
+            print(f"state: {reply.state}  workers: {reply.workers}  "
+                  f"tickets: {reply.tickets}  "
+                  f"generation: {reply.generation}  "
+                  f"uptime: {reply.uptime_seconds:.0f}s")
+            print(f"jobs: {reply.done}/{reply.total}  "
+                  f"executed: {reply.executed}  "
+                  f"cache hits: {reply.cache_hits}  "
+                  f"deduped: {reply.deduped}")
+    except ReproError as exc:
+        print(f"serve {args.verb} failed: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -63,6 +63,13 @@ class TestSchema:
         assert cbh.validate_record(record(ffwd={"windows": 1}), 1) == []
         assert cbh.validate_record(record(ffwd="lots"), 1)
 
+    def test_pr10_fields_optional_but_positive(self):
+        ok = record(bench="pr10_cold_sweep", pr10_seconds=1.5,
+                    speedup_soa_pr10=12.0)
+        assert cbh.validate_record(ok, 1) == []
+        assert cbh.validate_record(record(pr10_seconds=0.0), 1)
+        assert cbh.validate_record(record(speedup_soa_pr10="fast"), 1)
+
 
 class TestChecks:
     def test_stats_identical_false_is_fatal(self):
@@ -90,6 +97,23 @@ class TestChecks:
             [record(speedup=2.5),
              record(speedup=1.0, jobs=2, scales={"VT": 0.03})])
         assert not fatal and not warnings
+
+    def test_benches_are_separate_trajectories(self):
+        # a slow pr10 record is never a regression against fig8 peers
+        fatal, warnings = cbh.check_history(
+            [record(speedup=2.5),
+             record(speedup=1.0, bench="pr10_cold_sweep")])
+        assert not fatal and not warnings
+
+    def test_each_bench_newest_is_watched(self):
+        # the fig8 regression is caught even though a pr10 record was
+        # appended after it — every bench's newest record is checked
+        fatal, warnings = cbh.check_history(
+            [record(speedup=2.6), record(speedup=1.9),
+             record(speedup=5.0, bench="pr10_cold_sweep")])
+        assert not fatal
+        assert warnings and "trajectory regression" in warnings[0]
+        assert "fig8_cold_sweep" in warnings[0] and "2.6" in warnings[0]
 
     def test_custom_tolerance(self):
         records = [record(speedup=2.0), record(speedup=1.7)]

@@ -356,11 +356,15 @@ class TestSharedFlags:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep"])
 
-    def test_serve_requires_socket(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["serve"])
+    def test_serve_requires_socket_to_start_a_daemon(self, capsys):
+        # argparse accepts the bare form (the verbs need no --socket);
+        # the handler rejects a daemon start without one
+        assert build_parser().parse_args(["serve"]).socket is None
+        assert main(["serve"]) == 2
+        assert "--socket" in capsys.readouterr().err
         args = build_parser().parse_args(["serve", "--socket", "/tmp/d.sock"])
         assert args.socket == "/tmp/d.sock"
+        assert args.verb is None
 
     @pytest.mark.parametrize("command", ["sweep", "report"])
     def test_connect_flag(self, command):
@@ -368,3 +372,29 @@ class TestSharedFlags:
             [command, "--connect", "/tmp/d.sock"])
         assert args.connect == "/tmp/d.sock"
         assert build_parser().parse_args([command]).connect is None
+
+
+class TestServeVerbs:
+    """`repro serve reload|status --connect SOCKET` client verbs."""
+
+    @pytest.mark.parametrize("verb", ["reload", "status"])
+    def test_verbs_parse_without_socket(self, verb):
+        args = build_parser().parse_args(
+            ["serve", verb, "--connect", "/tmp/d.sock"])
+        assert args.verb == verb
+        assert args.connect == "/tmp/d.sock"
+
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "restart"])
+
+    @pytest.mark.parametrize("verb", ["reload", "status"])
+    def test_verb_requires_connect(self, verb, capsys):
+        assert main(["serve", verb]) == 2
+        assert "--connect" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("verb", ["reload", "status"])
+    def test_unreachable_daemon_is_clear_error(self, verb, capsys):
+        assert main(["serve", verb, "--connect", "/tmp/no-such.sock"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot reach daemon" in err

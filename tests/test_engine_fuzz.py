@@ -34,7 +34,8 @@ from repro.accel import (
     higraph_mini,
     simulate,
 )
-from repro.accel.engine import ENGINES
+from repro.accel.engine import ENGINES, FFWD_TELEMETRY
+from repro.algorithms import make_algorithm
 from repro.graph.generators import erdos_renyi, grid_2d, rmat, star
 from repro.graph.partition import partition_by_destination
 from test_engine_differential import _make_algorithm, divergence_message
@@ -158,6 +159,80 @@ def test_fuzz_case(seed):
         assert np.array_equal(ref.properties, res.properties), (
             f"fuzz seed {seed} ({mode}): properties diverge "
             f"reference vs {engine}; reproduce: {_replay_command(seed)}")
+
+
+def _pr_iterations() -> int:
+    """Iterations for the multi-iteration PageRank record→replay cases
+    (``REPRO_FUZZ_PR_ITERS`` raises it for nightly runs)."""
+    raw = os.environ.get("REPRO_FUZZ_PR_ITERS", "")
+    try:
+        return max(2, int(raw))
+    except ValueError:
+        return 10
+
+
+def _pr_seeds():
+    forced = os.environ.get("REPRO_FUZZ_SEED", "")
+    if forced.strip():
+        return [int(forced)]
+    count = max(2, _fuzz_case_count() // 4)
+    return [FUZZ_SEED_BASE + 1000 + i for i in range(count)]
+
+
+@pytest.mark.parametrize("seed", _pr_seeds())
+def test_fuzz_pr_multi_iteration(seed):
+    """Multi-iteration PageRank: phase 1+ records (in C for the soa
+    engine), later phases replay — the record→replay mix the 2-iteration
+    default cases barely touch."""
+    rng = np.random.default_rng(seed)
+    graph = _random_graph(rng)
+    config = _random_config(rng)
+    iters = _pr_iterations()
+    ref = simulate(config, graph, make_algorithm("PR", iterations=iters),
+                   engine="reference")
+    for engine in ENGINES:
+        if engine == "reference":
+            continue
+        res = simulate(config, graph,
+                       make_algorithm("PR", iterations=iters),
+                       engine=engine)
+        if res.stats.to_dict() != ref.stats.to_dict():
+            pytest.fail(
+                f"fuzz seed {seed} (PRx{iters}): "
+                + divergence_message(
+                    engine, "PR", graph, config, 0,
+                    ref.stats.to_dict(), res.stats.to_dict(),
+                    repro=_replay_command(seed)))
+        assert np.array_equal(ref.properties, res.properties), (
+            f"fuzz seed {seed} (PRx{iters}): properties diverge "
+            f"reference vs {engine}")
+
+
+def test_fuzz_kernel_recording_on_off_differential(monkeypatch):
+    """``REPRO_SOA_RECORD=off`` (Python-recorded programs replayed by
+    the C march) must not change a single byte vs in-kernel recording."""
+    rng = np.random.default_rng(FUZZ_SEED_BASE + 2000)
+    graph = _random_graph(rng)
+    config = _random_config(rng)
+    iters = _pr_iterations()
+
+    monkeypatch.delenv("REPRO_SOA_RECORD", raising=False)
+    on = simulate(config, graph, make_algorithm("PR", iterations=iters),
+                  engine="soa")
+    recorded_on = FFWD_TELEMETRY["c_recorded_phases"]
+
+    monkeypatch.setenv("REPRO_SOA_RECORD", "off")
+    off = simulate(config, graph, make_algorithm("PR", iterations=iters),
+                   engine="soa")
+    recorded_off = FFWD_TELEMETRY["c_recorded_phases"]
+
+    assert recorded_off == 0        # the kill-switch actually killed it
+    assert on.stats.to_dict() == off.stats.to_dict()
+    assert np.array_equal(on.properties, off.properties)
+    # when the compiled kernel is available, recording must run in C
+    from repro.accel.engine.soakernel import load_kernel
+    if load_kernel() is not None:
+        assert recorded_on > 0
 
 
 def test_case_builder_is_deterministic():

@@ -96,6 +96,38 @@ class TestBuildRecord:
         with pytest.raises(ValueError):
             self._record([])
 
+    def test_bench_name_override(self):
+        record = self._record([_pair()], bench="pr10_cold_sweep")
+        assert record["bench"] == "pr10_cold_sweep"
+
+
+class TestPr10Fields:
+    def _soa_pair(self, ref=10.0, bat=5.0, soa=1.0):
+        stats = {"scatter_cycles": 10}
+        return perf_probe.pair_result(
+            "PR/VT/HiGraph",
+            {"reference": ref, "batched": bat, "soa": soa},
+            {"reference": stats, "batched": dict(stats),
+             "soa": dict(stats)})
+
+    def test_derived_from_soa_timings(self):
+        record = perf_probe.build_record(
+            [self._soa_pair()], datasets=["VT"], algorithms=["PRx10"],
+            scales={"VT": 1.0}, equivalence_class="cycle-exact-v1",
+            utc="2026-08-08T00:00:00+00:00", python_version="3.11.7",
+            machine="x86_64", bench="pr10_cold_sweep")
+        fields = perf_probe.pr10_fields(record)
+        assert fields["pr10_seconds"] == record["soa_seconds"]
+        assert fields["speedup_soa_pr10"] == pytest.approx(10.0)
+
+    def test_empty_without_soa_timings(self):
+        record = perf_probe.build_record(
+            [_pair()], datasets=["VT"], algorithms=["PRx10"],
+            scales={"VT": 1.0}, equivalence_class="cycle-exact-v1",
+            utc="2026-08-08T00:00:00+00:00", python_version="3.11.7",
+            machine="x86_64", bench="pr10_cold_sweep")
+        assert perf_probe.pr10_fields(record) == {}
+
 
 class TestResolveOutPath:
     def test_default_creates_results_dir(self, tmp_path):

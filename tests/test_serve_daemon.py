@@ -327,3 +327,26 @@ class TestReportEndpoint:
                 warm = remote.report(tmp_path / "r", sections=["fig12"])
         assert warm.executed == 0
         assert warm.cache_hits == cold.total_jobs
+
+
+class TestCliServeVerbs:
+    """`repro serve reload|status --connect` against a live daemon."""
+
+    def test_status_verb_prints_the_daemon_line(self, sock_dir, capsys):
+        from repro.cli import main
+        sock = os.path.join(sock_dir, "d.sock")
+        with serve_in_thread(sock):
+            assert main(["serve", "status", "--connect", sock]) == 0
+        out = capsys.readouterr().out
+        assert "state: serving" in out
+        assert "workers:" in out and "generation:" in out
+
+    def test_reload_verb_reports_version_and_generation(self, sock_dir,
+                                                        capsys):
+        from repro.cli import main
+        sock = os.path.join(sock_dir, "d.sock")
+        with serve_in_thread(sock) as daemon:
+            assert main(["serve", "reload", "--connect", sock]) == 0
+            out = capsys.readouterr().out
+            assert f"code version {daemon.version[:12]}" in out
+            assert "unchanged" in out       # nothing edited under test
